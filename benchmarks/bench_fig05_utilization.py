@@ -1,0 +1,29 @@
+"""Figure 5: worker-node utilization over time for A3C, A2C and RDM on
+the small search spaces.
+
+Shape claims reproduced: RDM utilization is flat (no cache effect); A2C
+utilization is the lowest (synchronous batch barrier idles nodes); A3C
+utilization decays over time as the converging policy resamples cached
+architectures.
+"""
+
+import pytest
+
+from harness import print_utilizations, run_cached
+
+METHODS = ("a3c", "a2c", "rdm")
+
+
+@pytest.mark.parametrize("problem", ["combo", "uno", "nt3"])
+def bench_fig05(benchmark, problem):
+    def run_all():
+        return {m: run_cached(problem, m) for m in METHODS}
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    print_utilizations(f"Fig 5 ({problem}, small space)", results)
+
+    means = {m: results[m].cluster.mean_utilization(
+        max(results[m].end_time, 1e-9)) for m in METHODS}
+    assert all(0.0 < u <= 1.0 for u in means.values())
+    # A2C's synchronous barrier costs utilization relative to RDM
+    assert means["a2c"] <= means["rdm"] + 0.05, means

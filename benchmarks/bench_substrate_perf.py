@@ -1,0 +1,95 @@
+"""Substrate micro-benchmarks: NN training step, architecture compile +
+materialize, PPO update, and discrete-event kernel throughput.
+
+These are conventional pytest-benchmark timings (multiple rounds) that
+guard the performance of the pieces every experiment is built on.
+"""
+
+import numpy as np
+
+from repro.hpc.sim import Simulator, Timeout
+from repro.nas.builder import build_model, compile_architecture
+from repro.nas.spaces import combo_small
+from repro.nn import Adam, Dense, GraphModel, Trainer
+from repro.problems.combo import COMBO_PAPER_SHAPES, combo_head
+from repro.rl import LSTMPolicy, PPOUpdater
+
+
+def bench_dense_training_step(benchmark):
+    rng = np.random.default_rng(0)
+    m = GraphModel()
+    m.add_input("x", (128,))
+    m.add("h1", Dense(256, "relu"), ["x"])
+    m.add("h2", Dense(256, "relu"), ["h1"])
+    m.add("y", Dense(1), ["h2"])
+    m.set_output("y")
+    m.build(rng)
+    opt = Adam(m.parameters())
+    x = {"x": rng.standard_normal((256, 128))}
+    g = np.ones((256, 1)) / 256
+
+    def step():
+        m.forward(x, training=True)
+        m.zero_grad()
+        m.backward(g)
+        opt.step()
+
+    benchmark(step)
+
+
+def bench_compile_architecture(benchmark):
+    space = combo_small()
+    rng = np.random.default_rng(0)
+    archs = [space.random_architecture(rng) for _ in range(20)]
+
+    def compile_batch():
+        return [compile_architecture(space, a.choices, COMBO_PAPER_SHAPES,
+                                     combo_head()) for a in archs]
+
+    plans = benchmark(compile_batch)
+    assert all(p.total_params >= 0 for p in plans)
+
+
+def bench_materialize_model(benchmark):
+    space = combo_small(scale=0.02)
+    shapes = {"cell_expression": (30,), "drug1_descriptors": (40,),
+              "drug2_descriptors": (40,)}
+    rng = np.random.default_rng(0)
+    arch = space.random_architecture(rng)
+
+    def materialize():
+        return build_model(space, arch.choices, shapes, combo_head(), rng)
+
+    model = benchmark(materialize)
+    assert model.built
+
+
+def bench_ppo_update(benchmark):
+    space = combo_small()
+    policy = LSTMPolicy(space.action_dims, seed=0)
+    updater = PPOUpdater(policy)
+    rng = np.random.default_rng(0)
+    rollout = policy.sample(11, rng)
+    rewards = rng.random(11)
+
+    def update():
+        updater.update(rollout, rewards)
+
+    benchmark(update)
+
+
+def bench_des_event_throughput(benchmark):
+    def run_sim():
+        sim = Simulator()
+
+        def ticker(n):
+            for _ in range(n):
+                yield Timeout(1.0)
+
+        for _ in range(20):
+            sim.process(ticker(500))
+        sim.run()
+        return sim.now
+
+    now = benchmark(run_sim)
+    assert now == 500.0

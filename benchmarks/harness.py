@@ -1,0 +1,12 @@
+"""Benchmark-suite shim: the harness lives in :mod:`repro.experiments`."""
+
+from repro.experiments import (FULL, POST_EPOCHS, TOP_K, WALL_MINUTES,
+                               allocation, post_train_top,
+                               print_posttrain, print_trajectories,
+                               print_utilizations, run_cached, space_for,
+                               surrogate_for, working_problem)
+
+__all__ = ["FULL", "POST_EPOCHS", "TOP_K", "WALL_MINUTES", "allocation",
+           "post_train_top", "print_posttrain", "print_trajectories",
+           "print_utilizations", "run_cached", "space_for",
+           "surrogate_for", "working_problem"]

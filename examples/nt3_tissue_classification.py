@@ -1,0 +1,66 @@
+"""NT3 tumor/normal classification: NAS over 1-D convolutional stacks.
+
+Searches the NT3 space (Conv/Act/Pool cells followed by Dense/Act/Drop
+cells) with real training on synthetic gene-expression profiles, then
+compares the best discovered network against the manually designed CNN —
+the paper's headline NT3 result is a network with 800× fewer parameters
+at the same accuracy.
+
+Run:  python examples/nt3_tissue_classification.py
+"""
+
+import numpy as np
+
+from repro.evaluator import SerialEvaluator
+from repro.posttrain import post_train
+from repro.problems import nt3_problem
+from repro.rewards import TrainingReward
+from repro.rl import LSTMPolicy, PPOConfig, PPOUpdater
+
+
+def main() -> None:
+    problem = nt3_problem(n_train=200, n_val=80, length=120, scale=0.05)
+    space = problem.space
+    print(f"search space: {space.name}, |S| = {space.size:.4g}")
+
+    reward = TrainingReward(problem, epochs=2)
+    evaluator = SerialEvaluator(reward)
+    policy = LSTMPolicy(space.action_dims, seed=1)
+    updater = PPOUpdater(policy, PPOConfig(lr=5e-3))
+    rng = np.random.default_rng(1)
+
+    seen: dict = {}
+    for iteration in range(6):
+        rollout = policy.sample(6, rng)
+        archs = [space.decode(a) for a in rollout.actions]
+        evaluator.add_eval_batch(archs)
+        records = evaluator.get_finished_evals()
+        by_key: dict = {}
+        for rec in records:
+            by_key.setdefault(rec.arch.key, []).append(rec)
+        rewards = []
+        for arch in archs:
+            rec = by_key[arch.key].pop(0)
+            rewards.append(rec.reward)
+            cur = seen.get(arch.key)
+            if cur is None or rec.reward > cur.reward:
+                seen[arch.key] = rec
+        updater.update(rollout, np.array(rewards))
+        print(f"iter {iteration}: accuracy rewards "
+              f"{np.round(rewards, 2).tolist()}")
+
+    top = sorted(seen.values(), key=lambda r: -r.reward)[:3]
+    report = post_train(problem, [t.arch for t in top], epochs=8)
+    print(f"\nbaseline CNN: acc={report.baseline_metric:.3f}, "
+          f"params={report.baseline_params}")
+    for e in report.entries:
+        print(f"NAS: acc={e.metric:.3f} params={e.params} "
+              f"(acc ratio {e.accuracy_ratio:.2f}, "
+              f"{e.params_ratio:.1f}x fewer params)")
+    print("\nbest architecture:")
+    for line in problem.space.describe(report.best().arch.choices):
+        print("  " + line)
+
+
+if __name__ == "__main__":
+    main()

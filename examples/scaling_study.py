@@ -1,0 +1,64 @@
+"""Scaling study (§5.3): agent scaling vs worker scaling.
+
+Runs A3C on the Combo large space at (shrunken replicas of) the paper's
+256-, 512- and 1,024-node configurations, comparing the two scaling
+strategies.  Agent scaling keeps utilization near the 256-node
+reference; worker scaling idles nodes because each agent's evaluation
+batch is synchronous.
+
+Run:  python examples/scaling_study.py
+"""
+
+import numpy as np
+
+from repro.analytics import unique_architectures
+from repro.hpc import NodeAllocation, TrainingCostModel
+from repro.nas.spaces import combo_large
+from repro.problems.combo import COMBO_PAPER_SHAPES, combo_head
+from repro.rewards import SurrogateReward
+from repro.search import SearchConfig, run_search
+
+# shrunken replicas of the paper's table (footnote 2 arithmetic)
+CONFIGS = {
+    "256 ": NodeAllocation(48, 6, 6),
+    "512-w": NodeAllocation(84, 6, 12),
+    "1024-w": NodeAllocation(156, 6, 24),
+    "512-a": NodeAllocation(90, 12, 6),
+    "1024-a": NodeAllocation(172, 24, 6),
+}
+
+
+def main() -> None:
+    space = combo_large()
+
+    def reward():
+        return SurrogateReward(
+            space, COMBO_PAPER_SHAPES, combo_head(),
+            TrainingCostModel.combo_paper(),
+            epochs=1, train_fraction=0.1, timeout=600.0,
+            log_params_opt=6.5, seed=7)
+
+    print(f"{'config':<8} {'agentsxworkers':>15} {'evals':>7} "
+          f"{'unique':>7} {'best':>6} {'util':>6}")
+    results = {}
+    for name, alloc in CONFIGS.items():
+        cfg = SearchConfig(method="a3c", allocation=alloc,
+                           wall_time=120 * 60.0, seed=3)
+        res = run_search(space, reward(), cfg)
+        results[name] = res
+        util = res.cluster.mean_utilization(max(res.end_time, 1e-9))
+        print(f"{name:<8} {alloc.num_agents:>7}x{alloc.workers_per_agent:<7}"
+              f" {res.num_evaluations:>7} "
+              f"{unique_architectures(res.records):>7} "
+              f"{res.best().reward:>6.3f} {util:>6.2f}")
+
+    u = {k: results[k].cluster.mean_utilization(
+        max(results[k].end_time, 1e-9)) for k in CONFIGS}
+    print(f"\nagent scaling holds utilization "
+          f"({u['512-a']:.2f} / {u['1024-a']:.2f}) "
+          f"better than worker scaling ({u['512-w']:.2f} / "
+          f"{u['1024-w']:.2f}) — paper Fig. 9.")
+
+
+if __name__ == "__main__":
+    main()

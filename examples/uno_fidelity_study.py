@@ -1,0 +1,63 @@
+"""Fidelity study (§5.4): how the reward-estimation training fraction
+shapes what the search finds.
+
+Runs A3C on the Combo large space at 10/20/30/40% training data on the
+simulated cluster.  Higher fractions make big architectures exceed the
+10-minute timeout, depressing early rewards and steering the agents
+toward smaller, faster-training networks — the paper's Figs. 11/12.
+
+Run:  python examples/uno_fidelity_study.py
+"""
+
+import numpy as np
+
+from repro.analytics import binned_mean_trajectory, top_k_architectures
+from repro.hpc import NodeAllocation, TrainingCostModel
+from repro.nas.spaces import combo_large
+from repro.problems.combo import COMBO_PAPER_SHAPES, combo_head
+from repro.rewards import SurrogateReward
+from repro.search import SearchConfig, run_search
+
+
+def main() -> None:
+    space = combo_large()
+    minutes = 120.0
+    print(f"A3C on {space.name} at four reward-estimation fidelities\n")
+
+    rows = {}
+    for fraction in (0.1, 0.2, 0.3, 0.4):
+        reward = SurrogateReward(
+            space, COMBO_PAPER_SHAPES, combo_head(),
+            TrainingCostModel.combo_paper(),
+            epochs=1, train_fraction=fraction, timeout=600.0,
+            log_params_opt=6.5, seed=7)
+        cfg = SearchConfig(method="a3c", allocation=NodeAllocation(64, 7, 4),
+                           wall_time=minutes * 60.0, seed=2)
+        res = run_search(space, reward, cfg)
+        top = top_k_architectures(res.records, 10)
+        rows[fraction] = {
+            "timeout_frac": float(np.mean([r.timed_out
+                                           for r in res.records])),
+            "early_mean": float(np.mean(
+                [r.reward for r in sorted(res.records,
+                                          key=lambda r: r.time)[:200]])),
+            "best": res.best().reward,
+            "median_top_params": float(np.median([t.params for t in top])),
+        }
+        traj = binned_mean_trajectory(res.records, 30.0, minutes)
+        series = "  ".join(f"{v:+.2f}" if np.isfinite(v) else "   - "
+                           for _, v in traj)
+        print(f"{fraction:4.0%}: reward per 30-min bin: {series}")
+
+    print(f"\n{'fraction':>8} {'timeouts':>9} {'early mean':>11} "
+          f"{'best':>6} {'median top-10 params':>21}")
+    for f, row in rows.items():
+        print(f"{f:8.0%} {row['timeout_frac']:9.2f} "
+              f"{row['early_mean']:11.3f} {row['best']:6.3f} "
+              f"{row['median_top_params']:21.3e}")
+    print("\nhigher fidelity -> more timeouts early, and the search "
+          "shifts toward smaller architectures (paper Figs. 11/12).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+"""Search-log persistence: JSON-lines export/import of reward records.
+
+The paper's analytics module parses the logs a NAS run leaves behind
+(reward trajectory, best architectures, unique-architecture counts).
+Here a run's records serialize to a JSON-lines file with a header line
+describing the run, so analyses can be re-run offline and across
+processes.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from ..nas.arch import Architecture
+from ..search.base import RewardRecord, SearchResult
+
+__all__ = ["save_records", "load_records", "save_result_summary"]
+
+_FORMAT_VERSION = 1
+
+
+def save_records(records: list[RewardRecord], path: str | Path,
+                 metadata: dict | None = None) -> None:
+    """Write records as JSON lines; the first line is a header."""
+    path = Path(path)
+    header = {"format": "repro-nas-log", "version": _FORMAT_VERSION,
+              "num_records": len(records), "metadata": metadata or {}}
+    with path.open("w") as fh:
+        fh.write(json.dumps(header) + "\n")
+        for rec in records:
+            fh.write(json.dumps({
+                "time": rec.time, "agent_id": rec.agent_id,
+                "arch": rec.arch.to_dict(), "reward": rec.reward,
+                "params": rec.params, "duration": rec.duration,
+                "cached": rec.cached, "timed_out": rec.timed_out,
+            }) + "\n")
+
+
+def load_records(path: str | Path) -> tuple[list[RewardRecord], dict]:
+    """Read a JSON-lines log; returns (records, metadata)."""
+    path = Path(path)
+    with path.open() as fh:
+        header = json.loads(fh.readline())
+        if header.get("format") != "repro-nas-log":
+            raise ValueError(f"{path} is not a repro NAS log")
+        if header.get("version") != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported log version {header.get('version')}")
+        records = []
+        for line in fh:
+            d = json.loads(line)
+            records.append(RewardRecord(
+                time=d["time"], agent_id=d["agent_id"],
+                arch=Architecture.from_dict(d["arch"]), reward=d["reward"],
+                params=d["params"], duration=d["duration"],
+                cached=d["cached"], timed_out=d["timed_out"]))
+    if len(records) != header["num_records"]:
+        raise ValueError(
+            f"truncated log: expected {header['num_records']} records, "
+            f"found {len(records)}")
+    return records, header.get("metadata", {})
+
+
+def save_result_summary(result: SearchResult, path: str | Path) -> None:
+    """Write a one-file JSON summary of a finished run (trajectory,
+    top architectures, utilization trace)."""
+    top = result.top_k(50)
+    summary = {
+        "method": result.config.method,
+        "allocation": {
+            "total_nodes": result.config.allocation.total_nodes,
+            "num_agents": result.config.allocation.num_agents,
+            "workers_per_agent": result.config.allocation.workers_per_agent,
+        },
+        "wall_time": result.config.wall_time,
+        "seed": result.config.seed,
+        "end_time": result.end_time,
+        "converged": result.converged,
+        "num_evaluations": result.num_evaluations,
+        "unique_architectures": result.unique_architectures,
+        "best": {"arch": result.best().arch.to_dict(),
+                 "reward": result.best().reward} if result.records else None,
+        "top": [{"arch": t.arch.to_dict(), "reward": t.reward,
+                 "params": t.params} for t in top],
+        "utilization": result.utilization_trace(bin_minutes=15.0),
+    }
+    Path(path).write_text(json.dumps(summary, indent=2))

@@ -1,0 +1,44 @@
+"""Replication statistics (Fig. 13).
+
+The paper repeats A3C ten times and plots, at each time stamp, the 10%,
+50% and 90% quantiles of the reward trajectories — "this removes both
+the best and worst values (outliers) for a given time stamp".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..search.base import RewardRecord
+from .trajectory import rolling_mean_trajectory
+
+__all__ = ["quantile_bands"]
+
+
+def quantile_bands(replications: list[list[RewardRecord]],
+                   grid_minutes: np.ndarray,
+                   quantiles: tuple[float, ...] = (0.1, 0.5, 0.9),
+                   window: int = 100) -> np.ndarray:
+    """Per-timestamp quantiles over replications.
+
+    Each replication's rolling-mean reward trajectory is interpolated
+    onto ``grid_minutes``; the result has one column per quantile
+    (rows = grid points).
+    """
+    if not replications:
+        raise ValueError("need at least one replication")
+    grid = np.asarray(grid_minutes, dtype=np.float64)
+    curves = np.zeros((len(replications), len(grid)))
+    for i, records in enumerate(replications):
+        traj = rolling_mean_trajectory(records, window)
+        if len(traj) == 0:
+            raise ValueError(f"replication {i} has no records")
+        curves[i] = np.interp(grid, traj[:, 0], traj[:, 1])
+    return np.quantile(curves, quantiles, axis=0).T
+
+
+def band_spread(bands: np.ndarray) -> np.ndarray:
+    """Width of the outer band (last quantile − first) per grid point —
+    the paper's randomness-impact measure (shrinks as the search
+    progresses)."""
+    return bands[:, -1] - bands[:, 0]

@@ -1,0 +1,41 @@
+"""Top-architecture extraction and uniqueness statistics.
+
+The paper's analytics module finds "the best architectures ... and
+number of unique architectures evaluated"; after a search, the top 50
+by estimated reward go to post-training (§5).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from ..nas.arch import Architecture
+from ..search.base import RewardRecord
+
+__all__ = ["top_k_architectures", "unique_architectures",
+           "cache_hit_fraction", "evaluations_per_agent"]
+
+
+def top_k_architectures(records: list[RewardRecord], k: int = 50
+                        ) -> list[RewardRecord]:
+    """Best record per distinct architecture, highest reward first."""
+    best: dict[tuple, RewardRecord] = {}
+    for rec in records:
+        cur = best.get(rec.arch.key)
+        if cur is None or rec.reward > cur.reward:
+            best[rec.arch.key] = rec
+    return sorted(best.values(), key=lambda r: -r.reward)[:k]
+
+
+def unique_architectures(records: list[RewardRecord]) -> int:
+    return len({rec.arch.key for rec in records})
+
+
+def cache_hit_fraction(records: list[RewardRecord]) -> float:
+    if not records:
+        return 0.0
+    return sum(rec.cached for rec in records) / len(records)
+
+
+def evaluations_per_agent(records: list[RewardRecord]) -> dict[int, int]:
+    return dict(Counter(rec.agent_id for rec in records))

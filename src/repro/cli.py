@@ -1,0 +1,264 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``spaces``
+    List the available search spaces and their exact cardinalities.
+``baselines``
+    Print the manually designed networks' parameter counts (paper scale).
+``search``
+    Run a simulated NAS experiment and write a JSON-lines log.
+``analyze``
+    Summarize a search log (trajectory, top architectures, uniqueness).
+``posttrain``
+    Post-train the top architectures of a search log against the
+    baseline and print the ratio table.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from .analytics import (best_so_far_trajectory, cache_hit_fraction,
+                        time_to_reward, top_k_architectures,
+                        unique_architectures)
+from .analytics.io import load_records, save_records
+from .hpc import NodeAllocation, TrainingCostModel
+from .nas.spaces import SPACES, get_space
+from .posttrain import post_train
+from .problems import get_problem
+from .problems.combo import COMBO_PAPER_SHAPES, combo_head
+from .problems.nt3 import NT3_PAPER_SHAPES, nt3_head
+from .problems.uno import UNO_PAPER_SHAPES, uno_head
+from .rewards import SurrogateReward
+from .search import SearchConfig, run_search
+
+__all__ = ["main"]
+
+_PAPER = {
+    "combo": (COMBO_PAPER_SHAPES, combo_head, TrainingCostModel.combo_paper),
+    "uno": (UNO_PAPER_SHAPES, uno_head, TrainingCostModel.uno_paper),
+    "nt3": (NT3_PAPER_SHAPES, nt3_head, TrainingCostModel.nt3_paper),
+}
+
+
+def _cmd_spaces(_args) -> int:
+    print(f"{'space':<14} {'decisions':>10} {'cardinality':>14}")
+    for name in SPACES:
+        space = get_space(name)
+        print(f"{name:<14} {space.num_actions:>10} {space.size:>14.4e}")
+    return 0
+
+
+def _cmd_baselines(_args) -> int:
+    print(f"{'benchmark':<10} {'paper-scale parameters':>24}")
+    for name in ("combo", "uno", "nt3"):
+        problem = get_problem(name)
+        print(f"{name:<10} {problem.baseline_params(paper_scale=True):>24,}")
+    return 0
+
+
+def _space_name(problem: str, size: str) -> str:
+    name = f"{problem}-{size}"
+    if name not in SPACES:
+        raise SystemExit(f"no space {name!r}; NT3 only has a small space")
+    return name
+
+
+def _cmd_search(args) -> int:
+    shapes, head, cost = _PAPER[args.problem]
+    space = get_space(_space_name(args.problem, args.size))
+    reward = SurrogateReward(
+        space, shapes, head(), cost(),
+        epochs=1, train_fraction=args.fraction, timeout=600.0,
+        seed=args.landscape_seed)
+    alloc = NodeAllocation.paper_scaling(args.nodes, args.scaling)
+    cfg = SearchConfig(method=args.method, allocation=alloc,
+                       wall_time=args.minutes * 60.0, seed=args.seed)
+    print(f"running {args.method} on {space.name} "
+          f"({alloc.num_agents} agents x {alloc.workers_per_agent} "
+          f"workers, {args.minutes:.0f} simulated min) ...")
+    result = run_search(space, reward, cfg)
+    print(f"evaluations: {result.num_evaluations} "
+          f"({result.unique_architectures} unique); "
+          f"best reward: {result.best().reward:.3f}; "
+          f"utilization: "
+          f"{result.cluster.mean_utilization(max(result.end_time, 1e-9)):.2f}")
+    if args.output:
+        save_records(result.records, args.output, metadata={
+            "problem": args.problem, "size": args.size,
+            "method": args.method, "nodes": args.nodes,
+            "fraction": args.fraction, "seed": args.seed})
+        print(f"log written to {args.output}")
+    return 0
+
+
+def _cmd_analyze(args) -> int:
+    records, metadata = load_records(args.log)
+    print(f"log: {args.log} ({len(records)} records, metadata={metadata})")
+    print(f"unique architectures: {unique_architectures(records)}")
+    print(f"cache-hit fraction: {cache_hit_fraction(records):.2f}")
+    traj = best_so_far_trajectory(records)
+    print(f"final best reward: {traj[-1, 1]:.3f}")
+    t50 = time_to_reward(records, 0.5)
+    print(f"time to reward 0.5: {'%.0f min' % t50 if t50 else 'not reached'}")
+    print(f"\ntop {args.top} architectures:")
+    for rec in top_k_architectures(records, args.top):
+        print(f"  reward={rec.reward:+.3f} params={rec.params:>12,} "
+              f"{rec.arch}")
+    return 0
+
+
+def _cmd_posttrain(args) -> int:
+    records, metadata = load_records(args.log)
+    problem_name = metadata.get("problem") or args.problem
+    if problem_name is None:
+        raise SystemExit("log has no problem metadata; pass --problem")
+    problem = get_problem(problem_name)
+    _, _, cost = _PAPER[problem_name]
+    top = top_k_architectures(records, args.top)
+    report = post_train(problem, [t.arch for t in top], epochs=args.epochs,
+                        time_model=cost())
+    print(f"baseline: metric={report.baseline_metric:.4f} "
+          f"params={report.baseline_params:,}")
+    print(f"{'acc_ratio':>9} {'Pb/P':>8} {'Tb/T':>8} {'params':>12}")
+    for e in sorted(report.entries, key=lambda e: -e.accuracy_ratio):
+        print(f"{e.accuracy_ratio:9.3f} {e.params_ratio:8.2f} "
+              f"{e.time_ratio:8.2f} {e.params:12,}")
+    return 0
+
+
+_FIGURES = ("fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig11",
+            "fig13", "table1")
+
+
+def _cmd_figure(args) -> int:
+    """Regenerate one of the paper's figures/tables as printed series."""
+    from . import experiments as ex
+
+    problem = args.problem or "combo"
+    if args.figure == "fig4":
+        results = {m: ex.run_cached(problem, m) for m in ("a3c", "a2c",
+                                                          "rdm")}
+        ex.print_trajectories(f"Fig 4 ({problem}, small space)", results)
+    elif args.figure == "fig5":
+        results = {m: ex.run_cached(problem, m) for m in ("a3c", "a2c",
+                                                          "rdm")}
+        ex.print_utilizations(f"Fig 5 ({problem}, small space)", results)
+    elif args.figure == "fig6":
+        results = {m: ex.run_cached("combo", m, size="large")
+                   for m in ("a3c", "a2c", "rdm")}
+        ex.print_trajectories("Fig 6a (combo, large space)", results)
+        ex.print_utilizations("Fig 6b (combo, large space)", results)
+    elif args.figure == "fig7":
+        result = ex.run_cached(problem, "a3c")
+        ex.print_posttrain(f"Fig 7 ({problem}, small space)",
+                           ex.post_train_top(problem, result))
+    elif args.figure == "fig8":
+        result = ex.run_cached(problem, "a3c", size="large")
+        ex.print_posttrain(f"Fig 8 ({problem}, large space)",
+                           ex.post_train_top(problem, result, large=True))
+    elif args.figure == "fig9":
+        configs = {"256": (256, "agents"), "512-w": (512, "workers"),
+                   "1024-w": (1024, "workers"), "512-a": (512, "agents"),
+                   "1024-a": (1024, "agents")}
+        results = {name: ex.run_cached("combo", "a3c", size="large",
+                                       nodes=n, mode=m)
+                   for name, (n, m) in configs.items()}
+        ex.print_utilizations("Fig 9 (combo large, scaling)", results)
+    elif args.figure == "fig11":
+        results = {f"{int(f * 100)}%": ex.run_cached(
+            "combo", "a3c", size="large", train_fraction=f)
+            for f in (0.1, 0.2, 0.3, 0.4)}
+        ex.print_trajectories("Fig 11 (combo large, fidelity)", results)
+    elif args.figure == "fig13":
+        from .analytics import quantile_bands
+        from .search import SearchConfig, run_search
+        reps = []
+        for seed in range(5):
+            cfg = SearchConfig(method="a3c", allocation=ex.allocation(256),
+                               wall_time=ex.WALL_MINUTES * 60.0,
+                               seed=100 + seed)
+            reps.append(run_search(ex.space_for("combo"),
+                                   ex.surrogate_for("combo"), cfg))
+        grid = np.linspace(ex.WALL_MINUTES * 0.15,
+                           ex.WALL_MINUTES * 0.95, 9)
+        bands = quantile_bands([r.records for r in reps], grid)
+        print("t(min)   q10    q50    q90")
+        for t, row in zip(grid, bands):
+            print(f"{t:6.0f} {row[0]:6.3f} {row[1]:6.3f} {row[2]:6.3f}")
+    else:  # table1
+        for prob in ("combo", "uno", "nt3"):
+            result = ex.run_cached(prob, "a3c")
+            report = ex.post_train_top(prob, result)
+            rows = report.summary_rows()
+            print(f"\n{prob}:")
+            for row in rows:
+                print(f"  {row['network']:<18} params={row['params']:>12,} "
+                      f"time={row['train_time_s']:>9.1f}s "
+                      f"metric={row['metric']:.4f}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Scalable RL-based NAS for cancer DL (SC 2019 "
+                    "reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("spaces", help="list search spaces").set_defaults(
+        fn=_cmd_spaces)
+    sub.add_parser("baselines",
+                   help="paper-scale baseline parameter counts"
+                   ).set_defaults(fn=_cmd_baselines)
+
+    p = sub.add_parser("search", help="run a simulated NAS experiment")
+    p.add_argument("--problem", choices=("combo", "uno", "nt3"),
+                   default="combo")
+    p.add_argument("--size", choices=("small", "large"), default="small")
+    p.add_argument("--method", choices=("a3c", "a2c", "rdm"), default="a3c")
+    p.add_argument("--nodes", type=int, default=256,
+                   choices=(256, 512, 1024))
+    p.add_argument("--scaling", choices=("agents", "workers"),
+                   default="agents")
+    p.add_argument("--minutes", type=float, default=360.0,
+                   help="simulated wall-clock minutes")
+    p.add_argument("--fraction", type=float, default=0.1,
+                   help="training-data fraction for reward estimation")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--landscape-seed", type=int, default=7,
+                   help="seed of the surrogate reward landscape")
+    p.add_argument("--output", help="write a JSON-lines log here")
+    p.set_defaults(fn=_cmd_search)
+
+    p = sub.add_parser("analyze", help="summarize a search log")
+    p.add_argument("log")
+    p.add_argument("--top", type=int, default=10)
+    p.set_defaults(fn=_cmd_analyze)
+
+    p = sub.add_parser("posttrain", help="post-train a log's top archs")
+    p.add_argument("log")
+    p.add_argument("--problem", choices=("combo", "uno", "nt3"))
+    p.add_argument("--top", type=int, default=10)
+    p.add_argument("--epochs", type=int, default=10)
+    p.set_defaults(fn=_cmd_posttrain)
+
+    p = sub.add_parser("figure",
+                       help="regenerate one of the paper's figures")
+    p.add_argument("figure", choices=_FIGURES)
+    p.add_argument("--problem", choices=("combo", "uno", "nt3"))
+    p.set_defaults(fn=_cmd_figure)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,9 @@
+"""Model-evaluation interface with several execution backends (§4)."""
+
+from .balsam import BalsamEvaluator, BalsamJob, BalsamService
+from .base import EvalRecord, Evaluator
+from .cache import EvalCache
+from .serial import SerialEvaluator
+from .thread import ThreadEvaluator
+
+__all__ = ['BalsamEvaluator', 'BalsamJob', 'BalsamService', 'EvalCache', 'EvalRecord', 'Evaluator', 'SerialEvaluator', 'ThreadEvaluator']

@@ -1,0 +1,141 @@
+"""Simulated Balsam workflow service (§4, Fig. 3).
+
+The real deployment runs a Balsam service (Django + PostgreSQL) on a
+dedicated node; agents submit reward-estimation tasks through the
+Evaluator API, and a pilot-job *launcher* continually dispatches queued
+tasks onto idle worker nodes.
+
+Here the service is a job database over the discrete-event kernel.  Each
+submitted job becomes a pilot process: it waits (FIFO) for a worker node
+from the shared :class:`~repro.hpc.cluster.Cluster`, holds it for the
+modelled task duration, then releases it and fires its completion event.
+A small submission latency models the database round trip.
+
+Cache hits complete instantly without touching the cluster — agents keep
+agent-local caches (§4) — which is what drives the utilization decay as
+a search converges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..hpc.cluster import Cluster
+from ..hpc.sim import AllOf, Event, Simulator, Timeout
+from ..nas.arch import Architecture
+from ..rewards.base import EvalResult, RewardModel
+from .base import EvalRecord, Evaluator
+from .cache import EvalCache
+
+__all__ = ["BalsamJob", "BalsamService", "BalsamEvaluator"]
+
+
+@dataclass
+class BalsamJob:
+    """One row of the job database."""
+
+    job_id: int
+    agent_id: int
+    arch: Architecture
+    result: EvalResult
+    submit_time: float
+    start_time: float = -1.0
+    end_time: float = -1.0
+    state: str = "CREATED"       # CREATED -> RUNNING -> FINISHED
+    done: Event | None = field(default=None, repr=False)
+
+
+class BalsamService:
+    """Shared job database + launcher over one cluster."""
+
+    def __init__(self, sim: Simulator, cluster: Cluster,
+                 submit_latency: float = 0.5) -> None:
+        self.sim = sim
+        self.cluster = cluster
+        self.submit_latency = submit_latency
+        self.jobs: list[BalsamJob] = []
+
+    def submit(self, agent_id: int, arch: Architecture,
+               result: EvalResult) -> BalsamJob:
+        """Create a job and spawn its pilot process; returns the job, whose
+        ``done`` event fires at completion."""
+        job = BalsamJob(len(self.jobs), agent_id, arch, result,
+                        self.sim.now, done=self.sim.event())
+        self.jobs.append(job)
+        self.sim.process(self._pilot(job), name=f"job{job.job_id}")
+        return job
+
+    def _pilot(self, job: BalsamJob):
+        yield Timeout(self.submit_latency)
+        yield self.cluster.acquire()
+        job.state = "RUNNING"
+        job.start_time = self.sim.now
+        yield Timeout(job.result.duration)
+        self.cluster.release()
+        job.state = "FINISHED"
+        job.end_time = self.sim.now
+        job.done.succeed(job)
+
+    # -- monitoring (the paper's Balsam utilization inference) -----------
+    def utilization_trace(self, end_time: float, bin_width: float = 60.0):
+        return self.cluster.utilization_trace(end_time, bin_width)
+
+    @property
+    def num_finished(self) -> int:
+        return sum(1 for j in self.jobs if j.state == "FINISHED")
+
+
+class BalsamEvaluator(Evaluator):
+    """Per-agent evaluator backed by the shared Balsam service.
+
+    ``add_eval_batch`` returns an event that fires when the whole batch
+    has finished — the per-agent batch synchronization the paper notes
+    ("the estimation of M rewards per agent was blocking").
+    """
+
+    def __init__(self, service: BalsamService, reward_model: RewardModel,
+                 agent_id: int, use_cache: bool = True) -> None:
+        super().__init__(agent_id)
+        self.service = service
+        self.reward_model = reward_model
+        self.cache = EvalCache() if use_cache else None
+        self._finished: list[EvalRecord] = []
+        self.last_batch_all_cached = False
+
+    def add_eval_batch(self, archs: list[Architecture]) -> Event:
+        sim = self.service.sim
+        pending: list[Event] = []
+        all_cached = True
+        for arch in archs:
+            self.num_submitted += 1
+            cached = self.cache.get(arch) if self.cache is not None else None
+            if cached is not None:
+                self.num_cache_hits += 1
+                self._finished.append(EvalRecord(
+                    arch, cached, self.agent_id, sim.now, sim.now, sim.now,
+                    cached=True))
+                continue
+            all_cached = False
+            result = self.reward_model.evaluate(arch, agent_seed=self.agent_id)
+            job = self.service.submit(self.agent_id, arch, result)
+            pending.append(job.done)
+        self.last_batch_all_cached = all_cached and bool(archs)
+
+        batch_done = sim.event()
+
+        def finisher():
+            jobs = yield AllOf(pending)
+            for job in jobs:
+                if self.cache is not None:
+                    self.cache.put(job.arch, job.result)
+                self._finished.append(EvalRecord(
+                    job.arch, job.result, self.agent_id, job.submit_time,
+                    job.start_time, job.end_time))
+            batch_done.succeed()
+
+        sim.process(finisher(), name=f"agent{self.agent_id}.batch")
+        return batch_done
+
+    def get_finished_evals(self) -> list[EvalRecord]:
+        out, self._finished = self._finished, []
+        return out

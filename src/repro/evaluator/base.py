@@ -1,0 +1,56 @@
+"""Evaluator API (§4).
+
+The paper's evaluator exposes a three-function interface that "enforces a
+complete separation of concerns between the search and the backend":
+
+* ``add_eval_batch(architectures)`` — submit reward-estimation tasks;
+* ``get_finished_evals()`` — non-blocking fetch of newly completed
+  estimations;
+* the evaluation cache — agent-local, so repeated architectures return
+  their previous reward without consuming worker nodes.
+
+Backends range from in-process serial evaluation (laptop) to the
+simulated Balsam service (leadership-class runs); a single search code
+runs on either.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..nas.arch import Architecture
+from ..rewards.base import EvalResult
+
+__all__ = ["EvalRecord", "Evaluator"]
+
+
+@dataclass(frozen=True)
+class EvalRecord:
+    """A finished reward estimation, as returned by ``get_finished_evals``."""
+
+    arch: Architecture
+    result: EvalResult
+    agent_id: int
+    submit_time: float
+    start_time: float
+    end_time: float
+    cached: bool = False
+
+    @property
+    def reward(self) -> float:
+        return self.result.reward
+
+
+class Evaluator:
+    """Abstract evaluator; see module docstring for the contract."""
+
+    def __init__(self, agent_id: int = 0) -> None:
+        self.agent_id = agent_id
+        self.num_submitted = 0
+        self.num_cache_hits = 0
+
+    def add_eval_batch(self, archs: list[Architecture]):
+        raise NotImplementedError
+
+    def get_finished_evals(self) -> list[EvalRecord]:
+        raise NotImplementedError

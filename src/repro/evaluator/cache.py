@@ -1,0 +1,47 @@
+"""Agent-local evaluation cache.
+
+Each agent keeps its own cache of evaluated architectures ("a global
+cache ... is not maintained because that would nullify the benefit of
+agent-specific random weight initialization", §4).  A cache hit returns
+the stored result instantly without occupying a worker node — the
+mechanism behind the utilization decay of Figs. 5/6/9 and the
+convergence-stop of §5.1 (the search halts when every agent only
+generates cache hits).
+"""
+
+from __future__ import annotations
+
+from ..nas.arch import Architecture
+from ..rewards.base import EvalResult
+
+__all__ = ["EvalCache"]
+
+
+class EvalCache:
+    """Maps architecture keys to results for one agent."""
+
+    def __init__(self) -> None:
+        self._store: dict[tuple, EvalResult] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, arch: Architecture) -> EvalResult | None:
+        result = self._store.get(arch.key)
+        if result is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return result
+
+    def put(self, arch: Architecture, result: EvalResult) -> None:
+        self._store[arch.key] = result
+
+    def __contains__(self, arch: Architecture) -> bool:
+        return arch.key in self._store
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    @property
+    def unique_architectures(self) -> int:
+        return len(self._store)

@@ -1,0 +1,49 @@
+"""In-process evaluator backend (the "laptop" end of the scale).
+
+Evaluations run immediately and synchronously on ``add_eval_batch``;
+``get_finished_evals`` drains the completion queue.  Used by the
+examples and by real-training searches, where the reward model's
+duration is genuine wall time.
+"""
+
+from __future__ import annotations
+
+import time
+
+from ..nas.arch import Architecture
+from ..rewards.base import RewardModel
+from .base import EvalRecord, Evaluator
+from .cache import EvalCache
+
+__all__ = ["SerialEvaluator"]
+
+
+class SerialEvaluator(Evaluator):
+    def __init__(self, reward_model: RewardModel, agent_id: int = 0,
+                 use_cache: bool = True, clock=time.monotonic) -> None:
+        super().__init__(agent_id)
+        self.reward_model = reward_model
+        self.cache = EvalCache() if use_cache else None
+        self.clock = clock
+        self._finished: list[EvalRecord] = []
+
+    def add_eval_batch(self, archs: list[Architecture]) -> None:
+        for arch in archs:
+            submit = self.clock()
+            self.num_submitted += 1
+            cached = self.cache.get(arch) if self.cache is not None else None
+            if cached is not None:
+                self.num_cache_hits += 1
+                self._finished.append(EvalRecord(
+                    arch, cached, self.agent_id, submit, submit,
+                    self.clock(), cached=True))
+                continue
+            result = self.reward_model.evaluate(arch, agent_seed=self.agent_id)
+            if self.cache is not None:
+                self.cache.put(arch, result)
+            self._finished.append(EvalRecord(
+                arch, result, self.agent_id, submit, submit, self.clock()))
+
+    def get_finished_evals(self) -> list[EvalRecord]:
+        out, self._finished = self._finished, []
+        return out

@@ -1,0 +1,84 @@
+"""Thread-pool evaluator backend.
+
+§4 describes evaluator backends "ranging from lightweight threads to
+massively parallel jobs using a workflow system".  This is the
+lightweight-threads end: reward estimations run in a
+ThreadPoolExecutor, ``get_finished_evals`` is non-blocking (it drains
+whatever completed since the last call), and ``wait_all`` provides the
+per-agent batch barrier the search loop needs.
+
+numpy releases the GIL inside BLAS kernels, so real-training reward
+models get genuine overlap on multi-core machines.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import Future, ThreadPoolExecutor, wait
+
+from ..nas.arch import Architecture
+from ..rewards.base import RewardModel
+from .base import EvalRecord, Evaluator
+from .cache import EvalCache
+
+__all__ = ["ThreadEvaluator"]
+
+
+class ThreadEvaluator(Evaluator):
+    def __init__(self, reward_model: RewardModel, agent_id: int = 0,
+                 max_workers: int = 4, use_cache: bool = True,
+                 clock=time.monotonic) -> None:
+        super().__init__(agent_id)
+        self.reward_model = reward_model
+        self.cache = EvalCache() if use_cache else None
+        self.clock = clock
+        self._pool = ThreadPoolExecutor(max_workers=max_workers)
+        self._pending: list[tuple[Architecture, float, Future]] = []
+        self._finished: list[EvalRecord] = []
+
+    def add_eval_batch(self, archs: list[Architecture]) -> None:
+        for arch in archs:
+            submit = self.clock()
+            self.num_submitted += 1
+            cached = self.cache.get(arch) if self.cache is not None else None
+            if cached is not None:
+                self.num_cache_hits += 1
+                self._finished.append(EvalRecord(
+                    arch, cached, self.agent_id, submit, submit,
+                    self.clock(), cached=True))
+                continue
+            future = self._pool.submit(self.reward_model.evaluate, arch,
+                                       self.agent_id)
+            self._pending.append((arch, submit, future))
+
+    def _drain(self) -> None:
+        still_pending = []
+        for arch, submit, future in self._pending:
+            if future.done():
+                result = future.result()
+                if self.cache is not None:
+                    self.cache.put(arch, result)
+                self._finished.append(EvalRecord(
+                    arch, result, self.agent_id, submit, submit,
+                    self.clock()))
+            else:
+                still_pending.append((arch, submit, future))
+        self._pending = still_pending
+
+    def get_finished_evals(self) -> list[EvalRecord]:
+        self._drain()
+        out, self._finished = self._finished, []
+        return out
+
+    def wait_all(self, timeout: float | None = None) -> None:
+        """Block until every submitted estimation has completed."""
+        wait([f for _, _, f in self._pending], timeout=timeout)
+
+    def shutdown(self) -> None:
+        self._pool.shutdown(wait=True)
+
+    def __enter__(self) -> "ThreadEvaluator":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()

@@ -1,0 +1,262 @@
+"""Paper-experiment harness: regenerate every table and figure.
+
+Every experiment of the paper's evaluation section is expressed as a
+function here, so figures can be regenerated from a Python session or
+the CLI without the benchmark suite.  Search experiments run on the
+simulated cluster with the surrogate reward model; post-training
+experiments really train the numpy models on the working-scale
+synthetic datasets.  Runs are memoized per process so figure pairs
+sharing a run (e.g. Fig 4 trajectories and Fig 5 utilizations) only
+execute once.
+
+Scale control: set ``REPRO_BENCH_SCALE=full`` for paper-scale
+allocations (256-1,024 simulated nodes, 360 simulated minutes, top-50
+post-training); the default ``quick`` scale shrinks allocations and
+post-training budgets so a full regeneration finishes in a few minutes.
+"""
+
+
+from __future__ import annotations
+
+import os
+from functools import lru_cache
+
+import numpy as np
+
+from .analytics import (binned_mean_trajectory, cache_hit_fraction,
+                             time_to_reward, top_k_architectures,
+                             unique_architectures)
+from .hpc import NodeAllocation, TrainingCostModel
+from .nas.spaces import get_space
+from .posttrain import PostTrainReport, post_train
+from .problems import combo_problem, nt3_problem, uno_problem
+from .problems.combo import COMBO_PAPER_SHAPES, combo_head
+from .problems.nt3 import NT3_PAPER_SHAPES, nt3_head
+from .problems.uno import UNO_PAPER_SHAPES, uno_head
+from .rewards import SurrogateReward
+from .search import SearchConfig, SearchResult, run_search
+
+FULL = os.environ.get("REPRO_BENCH_SCALE", "quick") == "full"
+
+#: simulated wall-clock budget (the paper runs 360 minutes)
+WALL_MINUTES = 360.0 if FULL else 150.0
+#: post-training selection size (the paper post-trains the top 50)
+TOP_K = 50 if FULL else 12
+POST_EPOCHS = 25 if FULL else 20
+
+
+def allocation(nodes: int = 256, mode: str = "agents") -> NodeAllocation:
+    """Paper allocation at ``full`` scale; proportionally shrunk quick
+    version otherwise (agents/workers ratio preserved)."""
+    alloc = NodeAllocation.paper_scaling(nodes, mode)
+    if FULL:
+        return alloc
+    agents = max(2, round(alloc.num_agents / 3))
+    workers = max(2, round(alloc.workers_per_agent / 2))
+    return NodeAllocation(agents * (workers + 1) + 4, agents, workers)
+
+
+_PAPER_SHAPES = {
+    "combo": COMBO_PAPER_SHAPES,
+    "uno": UNO_PAPER_SHAPES,
+    "nt3": NT3_PAPER_SHAPES,
+}
+_HEADS = {"combo": combo_head, "uno": uno_head, "nt3": nt3_head}
+_COST_MODELS = {
+    "combo": TrainingCostModel.combo_paper,
+    "uno": TrainingCostModel.uno_paper,
+    "nt3": TrainingCostModel.nt3_paper,
+}
+#: surrogate shaping per benchmark: (noise, log10 of the capacity-optimal
+#: parameter count, reward base).  NT3's reward estimates are very noisy
+#: (1 epoch, batch 20 — §5.1) and its good architectures are tiny (§5.6).
+_SURROGATE_SHAPE = {
+    "combo": dict(noise=0.05, log_params_opt=6.5, reward_base=0.1),
+    "uno": dict(noise=0.08, log_params_opt=6.3, reward_base=0.1),
+    "nt3": dict(noise=0.25, log_params_opt=5.0, reward_base=0.4),
+}
+
+_SPACE_NAMES = {
+    ("combo", "small"): "combo-small",
+    ("combo", "large"): "combo-large",
+    ("uno", "small"): "uno-small",
+    ("uno", "large"): "uno-large",
+    ("nt3", "small"): "nt3-small",
+}
+
+
+@lru_cache(maxsize=32)
+def space_for(problem: str, size: str = "small"):
+    return get_space(_SPACE_NAMES[(problem, size)])
+
+
+def surrogate_for(problem: str, size: str = "small",
+                  train_fraction: float = 0.1, seed: int = 7,
+                  **overrides) -> SurrogateReward:
+    """The paper's reward-estimation setup: 1 epoch, 10-minute timeout,
+    benchmark-specific data fraction (10% for Combo; full data for
+    Uno/NT3, whose datasets are small)."""
+    shape = dict(_SURROGATE_SHAPE[problem])
+    shape.update(overrides)
+    if problem != "combo" and "train_fraction" not in overrides:
+        train_fraction = 1.0
+    return SurrogateReward(
+        space_for(problem, size), _PAPER_SHAPES[problem],
+        _HEADS[problem](), _COST_MODELS[problem](),
+        epochs=1, train_fraction=train_fraction, timeout=600.0,
+        seed=seed, **shape)
+
+
+@lru_cache(maxsize=64)
+def run_cached(problem: str, method: str, size: str = "small",
+               nodes: int = 256, mode: str = "agents",
+               train_fraction: float = 0.1, seed: int = 3,
+               log_params_opt: float | None = None) -> SearchResult:
+    """Memoized search run (figures share runs).
+
+    ``log_params_opt`` overrides the surrogate's capacity optimum; the
+    fidelity experiments (Figs. 11/12) use 7.2 (≈16M parameters) so the
+    reward-optimal capacity is viable under the 10-minute timeout at 10%
+    training data but *not* at 40% — the §5.4 regime where "the training
+    time in the reward estimation becomes a bottleneck" and the agents
+    must trade reward for speed.
+    """
+    overrides = {}
+    if log_params_opt is not None:
+        overrides["log_params_opt"] = log_params_opt
+    reward = surrogate_for(problem, size, train_fraction, **overrides)
+    cfg = SearchConfig(method=method, allocation=allocation(nodes, mode),
+                       wall_time=WALL_MINUTES * 60.0, seed=seed)
+    return run_search(space_for(problem, size), reward, cfg)
+
+
+@lru_cache(maxsize=8)
+def working_problem(problem: str, large: bool = False):
+    """Working-scale problem instance (real numpy training)."""
+    if problem == "combo":
+        # batch 64 keeps a paper-like optimizer-steps-per-epoch count at
+        # the reduced dataset size (the paper's 256 would give 2 steps)
+        return combo_problem(n_train=512, n_val=160, cell_dim=40,
+                             drug_dim=48, scale=0.03, batch_size=64,
+                             large=large)
+    if problem == "uno":
+        # few samples + a wide baseline + label noise: the
+        # overparameterized manual network overfits, the regime behind
+        # the paper's Uno result (§5.2)
+        return uno_problem(n_train=128, n_val=192, rna_dim=40, desc_dim=48,
+                           fp_dim=24, scale=0.12, noise=0.2, large=large)
+    return nt3_problem(n_train=200, n_val=80, length=120, scale=0.05,
+                       baseline_filters=8)
+
+
+def post_train_top(problem: str, result: SearchResult,
+                   k: int | None = None, large: bool = False
+                   ) -> PostTrainReport:
+    """The paper's §5 protocol: select top-k architectures by estimated
+    reward, retrain on full data without timeout, report ratios.
+
+    Accuracy ratios come from real training at working scale; the
+    parameter and training-time ratios are recomputed at the *paper's*
+    input dimensions (the search already counted each architecture's
+    exact parameters there), which is the regime Figs. 7/8/10/12
+    describe — at working scale the cost model's startup term would
+    flatten every time ratio.
+    """
+    import dataclasses
+
+    top = top_k_architectures(result.records, k or TOP_K)
+    prob = working_problem(problem, large)
+    report = post_train(prob, [t.arch for t in top], epochs=POST_EPOCHS,
+                        time_model=_COST_MODELS[problem]())
+
+    paper_params = {t.arch.key: t.params for t in top}
+    baseline_paper = prob.baseline_params(paper_scale=True)
+    cm = _COST_MODELS[problem]()
+    baseline_time = cm.duration(baseline_paper, epochs=POST_EPOCHS)
+    entries = []
+    for e in report.entries:
+        params = paper_params[e.arch.key]
+        train_time = cm.duration(params, epochs=POST_EPOCHS)
+        entries.append(dataclasses.replace(
+            e, params=params, train_time=train_time,
+            params_ratio=baseline_paper / max(params, 1),
+            time_ratio=baseline_time / train_time))
+    return PostTrainReport(report.problem, report.baseline_metric,
+                           baseline_paper, baseline_time, entries)
+
+
+# ----------------------------------------------------------------------
+# printing helpers (the "figures" are printed series)
+# ----------------------------------------------------------------------
+def print_trajectories(title: str, results: dict[str, SearchResult],
+                       bin_minutes: float = 15.0) -> None:
+    print(f"\n=== {title}: mean reward per {bin_minutes:.0f}-min bin ===")
+    names = list(results)
+    trajs = {n: binned_mean_trajectory(results[n].records, bin_minutes,
+                                       end_minutes=WALL_MINUTES)
+             for n in names}
+    header = "t(min)  " + "  ".join(f"{n:>8}" for n in names)
+    print(header)
+    rows = max(len(t) for t in trajs.values())
+    for i in range(rows):
+        cells = []
+        tmin = None
+        for n in names:
+            t = trajs[n]
+            if i < len(t):
+                tmin = t[i, 0]
+                cells.append(f"{t[i, 1]:8.3f}" if np.isfinite(t[i, 1])
+                             else "       -")
+            else:
+                cells.append("       -")
+        print(f"{tmin:6.0f}  " + "  ".join(cells))
+    for n in names:
+        res = results[n]
+        t50 = time_to_reward(res.records, 0.5)
+        print(f"{n}: evals={res.num_evaluations} "
+              f"unique={unique_architectures(res.records)} "
+              f"best={res.best().reward:.3f} "
+              f"cache={cache_hit_fraction(res.records):.2f} "
+              f"t(best>=0.5)={'%.0f min' % t50 if t50 else 'n/a'} "
+              f"end={res.end_time / 60:.0f} min "
+              f"converged={res.converged}")
+
+
+def print_utilizations(title: str, results: dict[str, SearchResult],
+                       bin_minutes: float = 15.0) -> None:
+    print(f"\n=== {title}: utilization per {bin_minutes:.0f}-min bin ===")
+    names = list(results)
+    traces = {n: results[n].utilization_trace(bin_minutes) for n in names}
+    print("t(min)  " + "  ".join(f"{n:>8}" for n in names))
+    rows = max(len(t) for t in traces.values())
+    for i in range(rows):
+        tmin = None
+        cells = []
+        for n in names:
+            t = traces[n]
+            if i < len(t):
+                tmin = t[i][0]
+                cells.append(f"{t[i][1]:8.2f}")
+            else:
+                cells.append("       -")
+        print(f"{tmin:6.0f}  " + "  ".join(cells))
+    for n in names:
+        res = results[n]
+        print(f"{n}: mean utilization = "
+              f"{res.cluster.mean_utilization(max(res.end_time, 1e-9)):.3f}")
+
+
+def print_posttrain(title: str, report: PostTrainReport) -> None:
+    print(f"\n=== {title} ===")
+    print(f"baseline: metric={report.baseline_metric:.4f} "
+          f"params={report.baseline_params} "
+          f"time={report.baseline_time:.1f}s")
+    print(f"{'acc_ratio':>9} {'Pb/P':>8} {'Tb/T':>8} {'metric':>8} "
+          f"{'params':>10}")
+    for e in sorted(report.entries, key=lambda e: -e.accuracy_ratio):
+        print(f"{e.accuracy_ratio:9.3f} {e.params_ratio:8.2f} "
+              f"{e.time_ratio:8.2f} {e.metric:8.4f} {e.params:10d}")
+    print(f"competitive (>0.98): {report.num_competitive(0.98)}"
+          f"/{len(report.entries)}; outperforming: "
+          f"{report.num_outperforming}; smaller: {report.num_smaller}; "
+          f"faster: {report.num_faster}")

@@ -1,0 +1,12 @@
+"""Simulated HPC substrate: event kernel, cluster, cost model."""
+
+from .cluster import Cluster, NodeAllocation
+from .costmodel import TrainingCostModel
+from .monitor import (JobTableStats, job_table_stats, throughput_trace,
+                      utilization_from_jobs)
+from .sim import AllOf, Event, Interrupt, Process, Simulator, Timeout
+
+__all__ = ["AllOf", "Cluster", "Event", "Interrupt", "JobTableStats",
+           "NodeAllocation", "Process", "Simulator", "Timeout",
+           "TrainingCostModel", "job_table_stats", "throughput_trace",
+           "utilization_from_jobs"]

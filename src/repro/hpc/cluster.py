@@ -1,0 +1,169 @@
+"""Simulated HPC cluster: node accounting à la Theta allocations.
+
+The paper's runs partition an allocation into agent nodes, worker nodes,
+one Balsam service node and unused remainder (e.g. 256 = 21 agents + 231
+workers + 1 Balsam + 3 unused).  :class:`NodeAllocation` captures that
+arithmetic; :class:`Cluster` tracks worker-node occupancy over virtual
+time and produces the utilization traces of Figs. 5/6/9 ("fraction of
+allocated compute nodes actively running evaluation tasks").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .sim import Event, Simulator
+
+__all__ = ["NodeAllocation", "Cluster"]
+
+
+@dataclass(frozen=True)
+class NodeAllocation:
+    """How a job's node count is split (paper §5, footnote 2)."""
+
+    total_nodes: int
+    num_agents: int
+    workers_per_agent: int
+    service_nodes: int = 1
+
+    def __post_init__(self) -> None:
+        if self.total_nodes <= 0 or self.num_agents <= 0 \
+                or self.workers_per_agent <= 0:
+            raise ValueError("node counts must be positive")
+        if self.used_nodes > self.total_nodes:
+            raise ValueError(
+                f"{self.used_nodes} nodes needed but only "
+                f"{self.total_nodes} allocated")
+
+    @property
+    def worker_nodes(self) -> int:
+        return self.num_agents * self.workers_per_agent
+
+    @property
+    def used_nodes(self) -> int:
+        return self.num_agents + self.worker_nodes + self.service_nodes
+
+    @property
+    def unused_nodes(self) -> int:
+        return self.total_nodes - self.used_nodes
+
+    @classmethod
+    def paper_256(cls) -> "NodeAllocation":
+        """The reference 256-node configuration: 21 agents × 11 workers."""
+        return cls(256, 21, 11)
+
+    @classmethod
+    def paper_scaling(cls, total_nodes: int, mode: str) -> "NodeAllocation":
+        """The §5.3 scaling configurations.
+
+        ``mode="workers"`` fixes 21 agents and grows workers per agent
+        (23 at 512, 47 at 1,024); ``mode="agents"`` fixes 11 workers per
+        agent and grows agents (42 at 512, 85 at 1,024).
+        """
+        table = {
+            ("workers", 512): cls(512, 21, 23),
+            ("workers", 1024): cls(1024, 21, 47),
+            ("agents", 512): cls(512, 42, 11),
+            ("agents", 1024): cls(1024, 85, 11),
+            ("workers", 256): cls.paper_256(),
+            ("agents", 256): cls.paper_256(),
+        }
+        try:
+            return table[(mode, total_nodes)]
+        except KeyError:
+            raise ValueError(
+                f"no paper configuration for {total_nodes} nodes / "
+                f"{mode!r} scaling") from None
+
+
+class Cluster:
+    """Worker-node pool with occupancy tracking.
+
+    ``acquire``/``release`` manage single-node leases; waiters queue
+    FIFO.  Every occupancy change appends a ``(time, busy)`` sample, so
+    utilization can be integrated exactly after the run.
+    """
+
+    def __init__(self, sim: Simulator, worker_nodes: int) -> None:
+        if worker_nodes <= 0:
+            raise ValueError("worker_nodes must be positive")
+        self.sim = sim
+        self.worker_nodes = worker_nodes
+        self.busy = 0
+        self._wait_queue: list[Event] = []
+        self.samples: list[tuple[float, int]] = [(0.0, 0)]
+
+    @property
+    def idle(self) -> int:
+        return self.worker_nodes - self.busy
+
+    def _record(self) -> None:
+        self.samples.append((self.sim.now, self.busy))
+
+    def try_acquire(self) -> bool:
+        """Take a node if one is idle; non-blocking."""
+        if self.busy < self.worker_nodes:
+            self.busy += 1
+            self._record()
+            return True
+        return False
+
+    def acquire(self) -> Event:
+        """Yieldable: fires when a node has been granted to the caller."""
+        ev = self.sim.event()
+        if self.busy < self.worker_nodes:
+            self.busy += 1
+            self._record()
+            ev.succeed()
+        else:
+            self._wait_queue.append(ev)
+        return ev
+
+    def release(self) -> None:
+        if self.busy <= 0:
+            raise RuntimeError("release without matching acquire")
+        if self._wait_queue:
+            # hand the node directly to the next waiter: occupancy unchanged
+            self._wait_queue.pop(0).succeed()
+        else:
+            self.busy -= 1
+            self._record()
+
+    # -- utilization --------------------------------------------------
+    def utilization_trace(self, end_time: float, bin_width: float = 1.0
+                          ) -> list[tuple[float, float]]:
+        """Mean utilization per time bin, as plotted in Figs. 5/6/9."""
+        if end_time <= 0:
+            raise ValueError("end_time must be positive")
+        samples = self.samples + [(end_time, self.busy)]
+        trace: list[tuple[float, float]] = []
+        idx = 0
+        t = 0.0
+        busy = 0
+        while t < end_time:
+            t_next = min(t + bin_width, end_time)
+            area = 0.0
+            cur = t
+            while idx < len(samples) and samples[idx][0] <= t_next:
+                st, sb = samples[idx]
+                if st > cur:
+                    area += busy * (st - cur)
+                    cur = st
+                busy = sb
+                idx += 1
+            area += busy * (t_next - cur)
+            trace.append((t_next, area / ((t_next - t) * self.worker_nodes)))
+            t = t_next
+        return trace
+
+    def mean_utilization(self, end_time: float) -> float:
+        """Exact time-averaged utilization over [0, end_time]."""
+        samples = self.samples + [(end_time, self.busy)]
+        area = 0.0
+        prev_t, prev_b = samples[0]
+        for t, b in samples[1:]:
+            t = min(t, end_time)
+            if t > prev_t:
+                area += prev_b * (t - prev_t)
+            prev_t, prev_b = t, b
+        return area / (end_time * self.worker_nodes)

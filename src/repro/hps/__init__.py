@@ -1,0 +1,16 @@
+"""Hyperparameter search for fixed architectures (§7 future work).
+
+DeepHyper pairs its NAS module with asynchronous hyperparameter search;
+the paper lists "integrating hyperparameter search approaches" as future
+work.  This module provides that integration at the scale of this
+reproduction: random search and asynchronous successive halving (the
+core of Hyperband) over training hyperparameters (learning rate, batch
+size, epochs) of a fixed architecture, reusing the Trainer and Problem
+abstractions.
+"""
+
+from .search import (HpsResult, HyperparameterSpace, random_search,
+                     successive_halving)
+
+__all__ = ["HpsResult", "HyperparameterSpace", "random_search",
+           "successive_halving"]

@@ -1,0 +1,117 @@
+"""Random search and successive halving over training hyperparameters."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..nas.arch import Architecture
+from ..nn.training import Trainer
+from ..problems.base import Problem
+from ..rewards.training import arch_seed
+
+__all__ = ["HyperparameterSpace", "HpsResult", "random_search",
+           "successive_halving"]
+
+
+@dataclass(frozen=True)
+class HyperparameterSpace:
+    """Log-uniform learning rate, categorical batch size, epoch budget."""
+
+    lr_range: tuple[float, float] = (1e-4, 1e-2)
+    batch_sizes: tuple[int, ...] = (16, 32, 64, 128)
+    max_epochs: int = 16
+
+    def __post_init__(self) -> None:
+        lo, hi = self.lr_range
+        if not 0 < lo < hi:
+            raise ValueError("lr_range must satisfy 0 < lo < hi")
+        if not self.batch_sizes:
+            raise ValueError("need at least one batch size")
+        if self.max_epochs <= 0:
+            raise ValueError("max_epochs must be positive")
+
+    def sample(self, rng: np.random.Generator) -> dict:
+        lo, hi = self.lr_range
+        return {
+            "lr": float(np.exp(rng.uniform(np.log(lo), np.log(hi)))),
+            "batch_size": int(self.batch_sizes[
+                rng.integers(len(self.batch_sizes))]),
+        }
+
+
+@dataclass
+class HpsResult:
+    """Outcome of a hyperparameter search."""
+
+    best_config: dict
+    best_metric: float
+    trials: list[tuple[dict, float]] = field(default_factory=list)
+
+    @property
+    def num_trials(self) -> int:
+        return len(self.trials)
+
+
+def _evaluate(problem: Problem, arch: Architecture | None, config: dict,
+              epochs: int, seed: int) -> float:
+    """Train (arch or the baseline) under ``config``; return the metric."""
+    rng_seed = arch_seed(seed, 0, arch) if arch is not None else seed
+    rng = np.random.default_rng(rng_seed)
+    model = (problem.build_model(arch.choices, rng) if arch is not None
+             else problem.build_baseline(rng))
+    trainer = Trainer(loss=problem.loss, metric=problem.metric,
+                      batch_size=config["batch_size"], epochs=epochs,
+                      lr=config["lr"], seed=rng_seed)
+    ds = problem.dataset
+    hist = trainer.fit(model, ds.x_train, ds.y_train, ds.x_val, ds.y_val)
+    metric = float(hist.val_metric)
+    return metric if np.isfinite(metric) else -1.0
+
+
+def random_search(problem: Problem, space: HyperparameterSpace,
+                  num_trials: int = 16, arch: Architecture | None = None,
+                  epochs: int | None = None, seed: int = 0) -> HpsResult:
+    """Independent uniform trials at a fixed epoch budget."""
+    if num_trials <= 0:
+        raise ValueError("num_trials must be positive")
+    rng = np.random.default_rng(seed)
+    budget = epochs or space.max_epochs
+    trials = []
+    for _ in range(num_trials):
+        config = space.sample(rng)
+        metric = _evaluate(problem, arch, config, budget, seed)
+        trials.append((config, metric))
+    best_config, best_metric = max(trials, key=lambda t: t[1])
+    return HpsResult(best_config, best_metric, trials)
+
+
+def successive_halving(problem: Problem, space: HyperparameterSpace,
+                       num_configs: int = 16, eta: int = 2,
+                       min_epochs: int = 1,
+                       arch: Architecture | None = None,
+                       seed: int = 0) -> HpsResult:
+    """Successive halving: start many configs at a small epoch budget,
+    keep the top 1/eta at each rung with eta× the budget."""
+    if num_configs <= 1:
+        raise ValueError("num_configs must be > 1")
+    if eta < 2:
+        raise ValueError("eta must be >= 2")
+    rng = np.random.default_rng(seed)
+    survivors = [space.sample(rng) for _ in range(num_configs)]
+    budget = min_epochs
+    all_trials: list[tuple[dict, float]] = []
+    scored: list[tuple[dict, float]] = []
+    while True:
+        scored = [(cfg, _evaluate(problem, arch, cfg, budget, seed))
+                  for cfg in survivors]
+        all_trials.extend(scored)
+        if len(survivors) <= 1 or budget >= space.max_epochs:
+            break
+        scored.sort(key=lambda t: -t[1])
+        survivors = [cfg for cfg, _ in
+                     scored[:max(1, len(scored) // eta)]]
+        budget = min(space.max_epochs, budget * eta)
+    best_config, best_metric = max(scored, key=lambda t: t[1])
+    return HpsResult(best_config, best_metric, all_trials)

@@ -1,0 +1,23 @@
+"""Neural-architecture-search core: search-space formalism and compiler.
+
+The paper's primary contribution: a graph search space with multiple
+input layers, variable / constant / mirror nodes, and skip-connection
+operations, from which architectures decode to runnable models.
+"""
+
+from .arch import Architecture
+from .builder import (Plan, PlanNode, build_model, compile_architecture,
+                      count_parameters)
+from .nodes import ConstantNode, MirrorNode, Node, VariableNode
+from .ops import (ActivationOp, AddOp, ConnectOp, Conv1DOp, DenseOp,
+                  DropoutOp, IdentityOp, MaxPooling1DOp, Operation)
+from .space import Block, Cell, Structure
+from .visualize import render_plan, render_space
+
+__all__ = [
+    "ActivationOp", "AddOp", "Architecture", "Block", "Cell", "ConnectOp",
+    "ConstantNode", "Conv1DOp", "DenseOp", "DropoutOp", "IdentityOp",
+    "MaxPooling1DOp", "MirrorNode", "Node", "Operation", "Plan", "PlanNode",
+    "Structure", "VariableNode", "build_model", "compile_architecture",
+    "count_parameters", "render_plan", "render_space",
+]

@@ -1,0 +1,38 @@
+"""Architecture: an immutable, hashable point of a search space.
+
+Hashability is load-bearing: the paper's evaluator keeps an *agent-local*
+cache of evaluated architectures keyed by the action sequence, and A3C's
+convergence is detected when every agent only generates cache hits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Architecture"]
+
+
+@dataclass(frozen=True)
+class Architecture:
+    """A fully specified architecture: space name + one choice per
+    variable node, in the structure's action order."""
+
+    space: str
+    choices: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "choices", tuple(int(c) for c in self.choices))
+
+    @property
+    def key(self) -> tuple:
+        return (self.space, self.choices)
+
+    def to_dict(self) -> dict:
+        return {"space": self.space, "choices": list(self.choices)}
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "Architecture":
+        return cls(d["space"], tuple(d["choices"]))
+
+    def __str__(self) -> str:
+        return f"{self.space}[{','.join(map(str, self.choices))}]"

@@ -1,0 +1,280 @@
+"""Architecture compiler: search-space structure + choices → network.
+
+Compilation happens in two phases so that trainable-parameter counts (the
+paper's P_b/P ratio and the surrogate cost model both need them for
+thousands of architectures) never require allocating weights:
+
+1. :func:`compile_architecture` symbolically walks the structure with the
+   chosen operations, resolving block wiring, skip connections, mirror
+   sharing and automatic flattening, and emits a :class:`Plan` — a list of
+   plan nodes with inferred shapes and exact parameter counts.
+2. :meth:`Plan.materialize` turns a plan into a runnable
+   :class:`~repro.nn.graph.GraphModel`, building layers eagerly so that
+   mirror nodes share the target layer's actual weight arrays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..nn.conv import Flatten
+from ..nn.graph import GraphModel
+from ..nn.merge import Add, Concatenate
+from .nodes import ConstantNode, MirrorNode, VariableNode
+from .ops import ConnectOp, Operation
+from .space import Structure
+
+__all__ = ["PlanNode", "Plan", "compile_architecture", "build_model",
+           "count_parameters"]
+
+Shape = tuple[int, ...]
+
+
+@dataclass
+class PlanNode:
+    """One node of a compiled plan."""
+
+    name: str
+    kind: str                      # "layer" | "concat" | "add" | "flatten"
+    inputs: list[str]
+    out_shape: Shape
+    params: int = 0
+    op: Operation | None = None
+    share_of: str | None = None    # plan-node whose layer provides weights
+
+
+@dataclass
+class Plan:
+    """Symbolic network: inputs + ordered plan nodes + output node."""
+
+    space: str
+    input_shapes: dict[str, Shape]
+    nodes: list[PlanNode] = field(default_factory=list)
+    output: str = ""
+
+    @property
+    def total_params(self) -> int:
+        """Exact trainable parameter count (shared weights counted once)."""
+        return sum(n.params for n in self.nodes)
+
+    @property
+    def depth(self) -> int:
+        """Number of parameterized layers on the longest input→output path."""
+        level: dict[str, int] = {name: 0 for name in self.input_shapes}
+        for n in self.nodes:
+            base = max(level[i] for i in n.inputs)
+            level[n.name] = base + (1 if n.params > 0 or n.share_of else 0)
+        return level[self.output]
+
+    @property
+    def output_shape(self) -> Shape:
+        return next(n.out_shape for n in reversed(self.nodes)
+                    if n.name == self.output)
+
+    def materialize(self, rng: np.random.Generator) -> GraphModel:
+        """Instantiate the runnable model; weights drawn from ``rng``."""
+        model = GraphModel()
+        for name, shape in self.input_shapes.items():
+            model.add_input(name, shape)
+        layers: dict[str, object] = {}
+        for pn in self.nodes:
+            in_shapes = [self.input_shapes[i] if i in self.input_shapes
+                         else layers[i].output_shape for i in pn.inputs]
+            if pn.kind == "concat":
+                layer = Concatenate(pn.name)
+                layer.build_multi(in_shapes, rng)
+            elif pn.kind == "add":
+                layer = Add(pn.name)
+                layer.build_multi(in_shapes, rng)
+            elif pn.kind == "flatten":
+                layer = Flatten(pn.name)
+                layer.build(in_shapes[0], rng)
+            else:
+                share = layers[pn.share_of] if pn.share_of else None
+                layer = pn.op.make_layer(pn.name, share_from=share)
+                layer.build(in_shapes[0], rng)
+            if tuple(layer.output_shape) != tuple(pn.out_shape):
+                raise AssertionError(
+                    f"plan/layer shape mismatch at {pn.name}: "
+                    f"{pn.out_shape} vs {layer.output_shape}")
+            layers[pn.name] = layer
+            model.add(pn.name, layer, pn.inputs)
+        model.set_output(self.output)
+        return model.build(rng)
+
+
+class _Compiler:
+    def __init__(self, structure: Structure, choices: tuple[int, ...],
+                 input_shapes: dict[str, Shape]) -> None:
+        self.structure = structure
+        self.choices = choices
+        self.plan = Plan(structure.name, dict(input_shapes))
+        #: tensor reference -> (plan node name, shape)
+        self.registry: dict[str, tuple[str, Shape]] = {
+            name: (name, tuple(shape)) for name, shape in input_shapes.items()}
+        #: VariableNode -> (chosen op, plan node name) for mirror resolution
+        self.materialized: dict[int, tuple[Operation, str | None]] = {}
+        self._counter = 0
+
+    # -- plan emission -------------------------------------------------
+    def _fresh(self, hint: str) -> str:
+        self._counter += 1
+        return f"{hint}#{self._counter}"
+
+    def emit_layer(self, op: Operation, src: tuple[str, Shape],
+                   hint: str, share_of: str | None = None
+                   ) -> tuple[str, Shape]:
+        src_name, src_shape = src
+        if op.requires_flat() and len(src_shape) > 1:
+            src_name, src_shape = self.emit_flatten((src_name, src_shape))
+        out_shape = op.out_shape(src_shape)
+        params = 0 if share_of else op.param_count(src_shape)
+        name = self._fresh(hint)
+        self.plan.nodes.append(PlanNode(name, "layer", [src_name],
+                                        tuple(out_shape), params, op, share_of))
+        return name, tuple(out_shape)
+
+    def emit_flatten(self, src: tuple[str, Shape]) -> tuple[str, Shape]:
+        src_name, src_shape = src
+        name = self._fresh("flatten")
+        out = (int(np.prod(src_shape)),)
+        self.plan.nodes.append(PlanNode(name, "flatten", [src_name], out))
+        return name, out
+
+    def emit_concat(self, srcs: list[tuple[str, Shape]], hint: str
+                    ) -> tuple[str, Shape]:
+        if len(srcs) == 1:
+            return srcs[0]
+        flat = []
+        for s in srcs:
+            flat.append(self.emit_flatten(s) if len(s[1]) > 1 else s)
+        name = self._fresh(hint)
+        out = (sum(s[1][0] for s in flat),)
+        self.plan.nodes.append(
+            PlanNode(name, "concat", [s[0] for s in flat], out))
+        return name, out
+
+    def emit_add(self, srcs: list[tuple[str, Shape]], hint: str
+                 ) -> tuple[str, Shape]:
+        flat = []
+        for s in srcs:
+            flat.append(self.emit_flatten(s) if len(s[1]) > 1 else s)
+        name = self._fresh(hint)
+        out = (max(s[1][0] for s in flat),)
+        self.plan.nodes.append(
+            PlanNode(name, "add", [s[0] for s in flat], out))
+        return name, out
+
+    def resolve(self, ref: str) -> tuple[str, Shape]:
+        try:
+            return self.registry[ref]
+        except KeyError:
+            raise KeyError(
+                f"unresolved tensor reference {ref!r} (available: "
+                f"{sorted(self.registry)})") from None
+
+    # -- main walk -----------------------------------------------------
+    def run(self, head_ops: list[Operation]) -> Plan:
+        choice_iter = iter(self.choices)
+        for cell in self.structure.cells:
+            block_outputs: list[tuple[str, Shape]] = []
+            for block in cell.blocks:
+                out = self._compile_block(cell, block, choice_iter)
+                self.registry[f"{cell.name}.{block.name}"] = out if out else ("", ())
+                if out is not None:
+                    block_outputs.append(out)
+            if not block_outputs:
+                raise ValueError(
+                    f"cell {cell.name!r} produced no output (all blocks Null)")
+            cell_out = self.emit_concat(block_outputs, f"{cell.name}.out")
+            self.registry[cell.name] = cell_out
+
+        sources = self.structure.output_sources
+        if sources == "all_cells":
+            refs = [c.name for c in self.structure.cells]
+        elif sources == "last_cell":
+            refs = [self.structure.cells[-1].name]
+        else:
+            refs = list(sources)
+        out = self.emit_concat([self.resolve(r) for r in refs], "structure.out")
+
+        for i, op in enumerate(head_ops):
+            out = self.emit_layer(op, out, f"head{i}")
+        self.plan.output = out[0]
+        return self.plan
+
+    def _compile_block(self, cell, block, choice_iter):
+        srcs = [self.resolve(r) for r in block.inputs]
+        cur: tuple[str, Shape] | None = self.emit_concat(
+            srcs, f"{cell.name}.{block.name}.in")
+        node_outputs: list[tuple[str, Shape] | None] = []
+        for idx, node in enumerate(block.nodes):
+            hint = f"{cell.name}.{block.name}.{node.name}"
+            if isinstance(node, VariableNode):
+                op = node.op_at(next(choice_iter))
+                if isinstance(op, ConnectOp):
+                    if op.refs:
+                        cur = self.emit_concat(
+                            [self.resolve(r) for r in op.refs], hint)
+                    else:
+                        cur = None  # the Null option: block contributes nothing
+                    self.materialized[id(node)] = (op, cur[0] if cur else None)
+                else:
+                    cur = self.emit_layer(op, cur, hint)
+                    self.materialized[id(node)] = (op, cur[0])
+            elif isinstance(node, MirrorNode):
+                try:
+                    op, target_plan = self.materialized[id(node.target)]
+                except KeyError:
+                    raise ValueError(
+                        f"mirror node {node.name!r} compiled before its "
+                        f"target {node.target.name!r}") from None
+                share = target_plan if op.shareable else None
+                cur = self.emit_layer(op, cur, hint, share_of=share)
+            else:  # ConstantNode
+                op = node.op
+                if op.is_merge:
+                    extra = [node_outputs[j]
+                             for j in block.extra_inputs.get(idx, [])]
+                    cur = self.emit_add([cur] + extra, hint)
+                else:
+                    cur = self.emit_layer(op, cur, hint)
+                    self.materialized[id(node)] = (op, cur[0])
+            node_outputs.append(cur)
+            if cur is not None:
+                self.registry[f"{cell.name}.{block.name}.{node.name}"] = cur
+        return cur
+
+
+def compile_architecture(structure: Structure, choices,
+                         input_shapes: dict[str, Shape],
+                         head_ops: list[Operation] | None = None) -> Plan:
+    """Compile a choice sequence into a symbolic :class:`Plan`.
+
+    ``input_shapes`` must cover every structure input; ``head_ops`` is the
+    problem-specific output head (e.g. ``[DenseOp(1, "linear")]`` for the
+    regression benchmarks), applied after the structure's output rule.
+    """
+    arch = structure.decode(choices)  # validates length and ranges
+    missing = set(structure.inputs) - set(input_shapes)
+    if missing:
+        raise KeyError(f"missing input shapes: {sorted(missing)}")
+    shapes = {name: tuple(input_shapes[name]) for name in structure.inputs}
+    return _Compiler(structure, arch.choices, shapes).run(head_ops or [])
+
+
+def build_model(structure: Structure, choices, input_shapes,
+                head_ops=None, rng: np.random.Generator | None = None
+                ) -> GraphModel:
+    """Compile and materialize in one call."""
+    plan = compile_architecture(structure, choices, input_shapes, head_ops)
+    return plan.materialize(rng or np.random.default_rng(0))
+
+
+def count_parameters(structure: Structure, choices, input_shapes,
+                     head_ops=None) -> int:
+    """Exact trainable-parameter count without allocating weights."""
+    return compile_architecture(structure, choices, input_shapes,
+                                head_ops).total_params

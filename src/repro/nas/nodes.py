@@ -1,0 +1,84 @@
+"""Node types of the search-space graph (§3.1).
+
+* :class:`VariableNode` — a set of candidate operations; each variable
+  node contributes one action to the agent's decision sequence.
+* :class:`ConstantNode` — a fixed operation, excluded from the search
+  space but present in the constructed network (domain-knowledge
+  encoding, e.g. the Add nodes in Uno or the dose pass-through).
+* :class:`MirrorNode` — reuses an existing variable node: it adopts the
+  same chosen operation and, when the operation has weights, *shares* the
+  target's parameters (Combo's shared drug-descriptor submodel).
+"""
+
+from __future__ import annotations
+
+from .ops import Operation
+
+__all__ = ["Node", "VariableNode", "ConstantNode", "MirrorNode"]
+
+
+class Node:
+    """Base search-space node."""
+
+    def __init__(self, name: str) -> None:
+        if not name:
+            raise ValueError("node name must be non-empty")
+        self.name = name
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name!r})"
+
+
+class VariableNode(Node):
+    """A decision point with a non-ordinal set of operation choices."""
+
+    def __init__(self, name: str, ops: list[Operation] | None = None) -> None:
+        super().__init__(name)
+        self.ops: list[Operation] = []
+        for op in ops or []:
+            self.add_op(op)
+
+    def add_op(self, op: Operation) -> "VariableNode":
+        """Append a candidate operation (the paper's ``add_op`` API)."""
+        if not isinstance(op, Operation):
+            raise TypeError(f"expected Operation, got {type(op).__name__}")
+        self.ops.append(op)
+        return self
+
+    @property
+    def num_ops(self) -> int:
+        return len(self.ops)
+
+    def op_at(self, index: int) -> Operation:
+        if not 0 <= index < len(self.ops):
+            raise IndexError(
+                f"choice {index} out of range for node {self.name!r} "
+                f"({len(self.ops)} ops)")
+        return self.ops[index]
+
+
+class ConstantNode(Node):
+    """A fixed operation outside the search space."""
+
+    def __init__(self, name: str, op: Operation) -> None:
+        super().__init__(name)
+        if not isinstance(op, Operation):
+            raise TypeError(f"expected Operation, got {type(op).__name__}")
+        self.op = op
+
+
+class MirrorNode(Node):
+    """Reuses an existing node (its chosen operation and its weights).
+
+    The target is usually a :class:`VariableNode` (Combo's shared drug
+    submodel); a :class:`ConstantNode` target is also allowed so that
+    fixed reference architectures (the manually designed baselines) can
+    express weight sharing too.
+    """
+
+    def __init__(self, name: str, target: "VariableNode | ConstantNode") -> None:
+        super().__init__(name)
+        if not isinstance(target, (VariableNode, ConstantNode)):
+            raise TypeError(
+                "MirrorNode target must be a VariableNode or ConstantNode")
+        self.target = target

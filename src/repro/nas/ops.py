@@ -1,0 +1,240 @@
+"""Search-space operations (the choices of a variable node).
+
+Operations are lightweight descriptors: they know their display name
+(matching the paper's ``Dense(100, relu)`` notation), how to infer output
+shapes and parameter counts symbolically (so the compiler can count the
+trainable parameters of an architecture without allocating any weights),
+and how to materialize an actual :mod:`repro.nn` layer.
+
+``ConnectOp`` is the skip-connection operation of §3.1: its payload is a
+tuple of tensor references (structure inputs, previous cell outputs, or
+individual node outputs); choosing the empty tuple is the paper's *Null*
+option.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn.conv import Conv1D, MaxPooling1D
+from ..nn.layers import ACTIVATIONS, Activation, Dense, Dropout, Identity, Layer
+
+__all__ = [
+    "Operation", "IdentityOp", "DenseOp", "DropoutOp", "ActivationOp",
+    "Conv1DOp", "MaxPooling1DOp", "AddOp", "ConnectOp",
+]
+
+Shape = tuple[int, ...]
+
+
+class Operation:
+    """Base class for search-space operations."""
+
+    #: whether the materialized layer owns shareable parameters
+    shareable = False
+    #: whether this op consumes multiple inputs (merge semantics)
+    is_merge = False
+
+    @property
+    def name(self) -> str:
+        raise NotImplementedError
+
+    def out_shape(self, in_shape: Shape) -> Shape:
+        return in_shape
+
+    def param_count(self, in_shape: Shape) -> int:
+        return 0
+
+    def requires_flat(self) -> bool:
+        """True when the op needs a rank-1 input (auto-Flatten upstream)."""
+        return False
+
+    def make_layer(self, name: str, share_from: Layer | None = None) -> Layer:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return self.name
+
+    def __eq__(self, other) -> bool:
+        return type(self) is type(other) and self.__dict__ == other.__dict__
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, tuple(sorted(self.__dict__.items()))))
+
+
+class IdentityOp(Operation):
+    """Pass-through; present in every variable node of the paper's spaces."""
+
+    @property
+    def name(self) -> str:
+        return "Identity"
+
+    def make_layer(self, name: str, share_from: Layer | None = None) -> Layer:
+        return Identity(name)
+
+
+class DenseOp(Operation):
+    """``Dense(units, activation)`` — the MLP_Node workhorse."""
+
+    shareable = True
+
+    def __init__(self, units: int, activation: str = "relu") -> None:
+        if units <= 0:
+            raise ValueError("units must be positive")
+        if activation not in ACTIVATIONS:
+            raise ValueError(f"unknown activation {activation!r}")
+        self.units = units
+        self.activation = activation
+
+    @property
+    def name(self) -> str:
+        return f"Dense({self.units}, {self.activation})"
+
+    def out_shape(self, in_shape: Shape) -> Shape:
+        return (self.units,)
+
+    def param_count(self, in_shape: Shape) -> int:
+        return (in_shape[0] + 1) * self.units
+
+    def requires_flat(self) -> bool:
+        return True
+
+    def make_layer(self, name: str, share_from: Dense | None = None) -> Dense:
+        return Dense(self.units, self.activation, name, share_from=share_from)
+
+
+class DropoutOp(Operation):
+    """``Dropout(rate)``."""
+
+    def __init__(self, rate: float) -> None:
+        if not 0.0 <= rate < 1.0:
+            raise ValueError("rate must be in [0, 1)")
+        self.rate = rate
+
+    @property
+    def name(self) -> str:
+        return f"Dropout({self.rate:g})"
+
+    def make_layer(self, name: str, share_from: Layer | None = None) -> Dropout:
+        return Dropout(self.rate, name)
+
+
+class ActivationOp(Operation):
+    """``Activation(fn)`` — NT3's Act_Node options."""
+
+    def __init__(self, activation: str) -> None:
+        if activation not in ACTIVATIONS:
+            raise ValueError(f"unknown activation {activation!r}")
+        self.activation = activation
+
+    @property
+    def name(self) -> str:
+        return f"Activation({self.activation})"
+
+    def make_layer(self, name: str, share_from: Layer | None = None) -> Activation:
+        return Activation(self.activation, name)
+
+
+class Conv1DOp(Operation):
+    """``Conv1D(kernel_size)`` with a fixed filter count and stride.
+
+    NT3's Conv_Node varies only the kernel size; the paper fixes filters=8
+    and stride=1 for the search space.
+    """
+
+    shareable = True
+
+    def __init__(self, kernel_size: int, filters: int = 8, strides: int = 1,
+                 activation: str = "linear") -> None:
+        if kernel_size <= 0 or filters <= 0 or strides <= 0:
+            raise ValueError("kernel_size, filters, strides must be positive")
+        self.kernel_size = kernel_size
+        self.filters = filters
+        self.strides = strides
+        self.activation = activation
+
+    @property
+    def name(self) -> str:
+        return f"Conv1D({self.kernel_size})"
+
+    def out_shape(self, in_shape: Shape) -> Shape:
+        if len(in_shape) != 2:
+            raise ValueError(f"Conv1D needs (length, channels), got {in_shape}")
+        length, _ = in_shape
+        if length < self.kernel_size:
+            raise ValueError(f"length {length} < kernel {self.kernel_size}")
+        return ((length - self.kernel_size) // self.strides + 1, self.filters)
+
+    def param_count(self, in_shape: Shape) -> int:
+        return (self.kernel_size * in_shape[1] + 1) * self.filters
+
+    def make_layer(self, name: str, share_from: Conv1D | None = None) -> Conv1D:
+        if share_from is not None:
+            raise NotImplementedError("Conv1D weight sharing is not used by any space")
+        return Conv1D(self.filters, self.kernel_size, self.strides,
+                      self.activation, name)
+
+
+class MaxPooling1DOp(Operation):
+    """``MaxPooling1D(pool_size)``."""
+
+    def __init__(self, pool_size: int) -> None:
+        if pool_size <= 0:
+            raise ValueError("pool_size must be positive")
+        self.pool_size = pool_size
+
+    @property
+    def name(self) -> str:
+        return f"MaxPooling1D({self.pool_size})"
+
+    def out_shape(self, in_shape: Shape) -> Shape:
+        if len(in_shape) != 2:
+            raise ValueError(f"MaxPooling1D needs (length, channels), got {in_shape}")
+        length, channels = in_shape
+        out_len = length // self.pool_size
+        if out_len == 0:
+            raise ValueError(f"length {length} < pool size {self.pool_size}")
+        return (out_len, channels)
+
+    def make_layer(self, name: str, share_from: Layer | None = None) -> MaxPooling1D:
+        return MaxPooling1D(self.pool_size, name)
+
+
+class AddOp(Operation):
+    """Elementwise addition ConstantNode (Uno's residual links)."""
+
+    is_merge = True
+
+    @property
+    def name(self) -> str:
+        return "Add"
+
+    def requires_flat(self) -> bool:
+        return True
+
+    def make_layer(self, name: str, share_from: Layer | None = None):
+        from ..nn.merge import Add
+        return Add(name)
+
+
+class ConnectOp(Operation):
+    """Skip-connection choice: concatenate the referenced tensors.
+
+    ``refs`` name tensors registered by the compiler: structure input
+    names (e.g. ``"cell_expression"``), cell outputs (``"C1"``), or node
+    outputs (``"C2.B0.N0"``).  An empty tuple is the *Null* option — the
+    owning block then contributes nothing to its cell's output.
+    """
+
+    is_merge = True
+
+    def __init__(self, *refs: str) -> None:
+        self.refs = tuple(refs)
+
+    @property
+    def name(self) -> str:
+        return "Connect(" + (", ".join(self.refs) if self.refs else "Null") + ")"
+
+    def make_layer(self, name: str, share_from: Layer | None = None):
+        from ..nn.merge import Concatenate
+        return Concatenate(name)

@@ -1,0 +1,26 @@
+"""Search-space definitions for the three CANDLE benchmarks."""
+
+from ..space import Structure
+from .combo import combo_large, combo_small, mlp_ops
+from .nt3 import nt3_small
+from .uno import uno_large, uno_small
+
+__all__ = ["combo_small", "combo_large", "uno_small", "uno_large",
+           "nt3_small", "mlp_ops", "get_space", "SPACES"]
+
+SPACES = {
+    "combo-small": combo_small,
+    "combo-large": combo_large,
+    "uno-small": uno_small,
+    "uno-large": uno_large,
+    "nt3-small": nt3_small,
+}
+
+
+def get_space(name: str, scale: float = 1.0, **kwargs) -> Structure:
+    """Construct a named search space, optionally width-scaled."""
+    try:
+        factory = SPACES[name]
+    except KeyError:
+        raise ValueError(f"unknown space {name!r}; choose from {sorted(SPACES)}") from None
+    return factory(scale=scale, **kwargs)

@@ -1,0 +1,141 @@
+"""Combo search spaces (§3.1.1).
+
+Inputs: ``cell_expression`` plus the two drug-descriptor vectors.  The
+drug-2 block mirrors the drug-1 block so both drugs share one
+feature-encoding submodel — the paper's MirrorNode showcase.
+
+The small space has exactly 13¹²·9 = 209,682,766,102,329 ≈ 2.0968×10¹⁴
+architectures, matching the paper.  The large space replicates the middle
+cell eight times, extending each replica's Connect options with the
+outputs of all previous replicas.
+"""
+
+from __future__ import annotations
+
+from ..nodes import ConstantNode, MirrorNode, VariableNode
+from ..ops import ConnectOp, DenseOp, DropoutOp, IdentityOp, Operation
+from ..space import Block, Cell, Structure
+
+__all__ = ["mlp_ops", "combo_small", "combo_large", "COMBO_INPUTS"]
+
+COMBO_INPUTS = ["cell_expression", "drug1_descriptors", "drug2_descriptors"]
+
+
+def mlp_ops(scale: float = 1.0) -> list[Operation]:
+    """The 13-option MLP_Node set shared by Combo and Uno.
+
+    ``scale`` shrinks the layer widths (e.g. 0.05 turns Dense(1000) into
+    Dense(50)) so searches and post-training run at laptop scale without
+    changing the space's cardinality or topology.
+    """
+    def u(units: int) -> int:
+        return max(1, round(units * scale))
+
+    ops: list[Operation] = [IdentityOp()]
+    for units, drop in ((100, 0.05), (500, 0.1), (1000, 0.2)):
+        ops.append(DenseOp(u(units), "relu"))
+        ops.append(DenseOp(u(units), "tanh"))
+        ops.append(DenseOp(u(units), "sigmoid"))
+        ops.append(DropoutOp(drop))
+    return ops
+
+
+def _mlp_chain(block: Block, prefix: str, count: int, scale: float) -> list[VariableNode]:
+    nodes = []
+    for i in range(count):
+        node = VariableNode(f"{prefix}{i}", mlp_ops(scale))
+        block.add_node(node)
+        nodes.append(node)
+    return nodes
+
+
+def _base_connect_options() -> list[ConnectOp]:
+    """The 9 skip-connection options of the small space's C1.B1."""
+    ce, d1, d2 = COMBO_INPUTS
+    return [
+        ConnectOp(),               # Null
+        ConnectOp(ce),             # Cell expression
+        ConnectOp(d1),             # Drug 1 descriptors
+        ConnectOp(d2),             # Drug 2 descriptors
+        ConnectOp("C0"),           # previous cell output
+        ConnectOp(ce, d1, d2),     # Inputs
+        ConnectOp(ce, d1),
+        ConnectOp(ce, d2),
+        ConnectOp(d1, d2),
+    ]
+
+
+def _input_cell(scale: float) -> Cell:
+    """C0: three blocks encoding the three inputs; drug2 mirrors drug1."""
+    c0 = Cell("C0")
+    b0 = Block("B0", inputs=["cell_expression"])
+    _mlp_chain(b0, "N", 3, scale)
+    c0.add_block(b0)
+
+    b1 = Block("B1", inputs=["drug1_descriptors"])
+    drug_nodes = _mlp_chain(b1, "N", 3, scale)
+    c0.add_block(b1)
+
+    b2 = Block("B2", inputs=["drug2_descriptors"])
+    for i, target in enumerate(drug_nodes):
+        b2.add_node(MirrorNode(f"N{i}", target))
+    c0.add_block(b2)
+    return c0
+
+
+def combo_small(scale: float = 1.0) -> Structure:
+    """The small Combo space: |S| = 13¹²·9 ≈ 2.0968×10¹⁴."""
+    s = Structure("combo-small", COMBO_INPUTS, output_sources="all_cells")
+    s.add_cell(_input_cell(scale))
+
+    c1 = Cell("C1")
+    b0 = Block("B0", inputs=["C0"])
+    _mlp_chain(b0, "N", 3, scale)
+    c1.add_block(b0)
+    b1 = Block("B1", inputs=["C0"])
+    b1.add_node(VariableNode("N0", _base_connect_options()))
+    c1.add_block(b1)
+    s.add_cell(c1)
+
+    c2 = Cell("C2")
+    b0 = Block("B0", inputs=["C1"])
+    _mlp_chain(b0, "N", 3, scale)
+    c2.add_block(b0)
+    s.add_cell(c2)
+
+    s.validate()
+    return s
+
+
+def combo_large(scale: float = 1.0, replicas: int = 8) -> Structure:
+    """The large Combo space: C1 replicated ``replicas`` times, each
+    replica's Connect options extended with all previous replicas'
+    outputs (§3.1.1)."""
+    if replicas < 1:
+        raise ValueError("need at least one replica")
+    s = Structure("combo-large", COMBO_INPUTS, output_sources="all_cells")
+    s.add_cell(_input_cell(scale))
+
+    prev = "C0"
+    for i in range(1, replicas + 1):
+        ci = Cell(f"C{i}")
+        b0 = Block("B0", inputs=[prev])
+        _mlp_chain(b0, "N", 3, scale)
+        ci.add_block(b0)
+        options = _base_connect_options()
+        # add outputs of C1..C(i-1)
+        options += [ConnectOp(f"C{j}") for j in range(1, i)]
+        b1 = Block("B1", inputs=[prev])
+        b1.add_node(VariableNode("N0", options))
+        ci.add_block(b1)
+        s.add_cell(ci)
+        prev = f"C{i}"
+
+    cf = Cell(f"C{replicas + 1}")
+    b0 = Block("B0", inputs=[prev])
+    _mlp_chain(b0, "N", 3, scale)
+    cf.add_block(b0)
+    s.add_cell(cf)
+
+    s.validate()
+    return s

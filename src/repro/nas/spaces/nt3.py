@@ -1,0 +1,78 @@
+"""NT3 search space (§3.1.3).
+
+A chain of four single-block cells over the RNA-seq gene-expression
+input: two convolutional cells (Conv_Node → Act_Node → Pool_Node) and two
+dense cells (Dense_Node → Act_Node → Drop_Node).
+
+|S| = (5·4·5)² · (9·4·7)² = 635,040,000, exactly the paper's 6.3504×10⁸.
+"""
+
+from __future__ import annotations
+
+from ..nodes import VariableNode
+from ..ops import (ActivationOp, Conv1DOp, DenseOp, DropoutOp, IdentityOp,
+                   MaxPooling1DOp, Operation)
+from ..space import Block, Cell, Structure
+
+__all__ = ["nt3_small", "conv_ops", "act_ops", "pool_ops", "dense_ops",
+           "drop_ops", "NT3_INPUTS"]
+
+NT3_INPUTS = ["rnaseq_expression"]
+
+
+def conv_ops(filters: int = 8) -> list[Operation]:
+    return [IdentityOp()] + [Conv1DOp(k, filters=filters, strides=1)
+                             for k in (3, 4, 5, 6)]
+
+
+def act_ops() -> list[Operation]:
+    return [IdentityOp(), ActivationOp("relu"), ActivationOp("tanh"),
+            ActivationOp("sigmoid")]
+
+
+def pool_ops() -> list[Operation]:
+    return [IdentityOp()] + [MaxPooling1DOp(p) for p in (3, 4, 5, 6)]
+
+
+def dense_ops(scale: float = 1.0) -> list[Operation]:
+    def u(units: int) -> int:
+        return max(1, round(units * scale))
+    return [IdentityOp()] + [DenseOp(u(n), "linear")
+                             for n in (10, 50, 100, 200, 250, 500, 750, 1000)]
+
+
+def drop_ops() -> list[Operation]:
+    return [IdentityOp()] + [DropoutOp(r)
+                             for r in (0.5, 0.4, 0.3, 0.2, 0.1, 0.05)]
+
+
+def nt3_small(scale: float = 1.0, filters: int = 8) -> Structure:
+    """The small NT3 space: |S| = 6.3504×10⁸ exactly.
+
+    The RNA-seq input must be at least 71 samples long for the worst-case
+    choice sequence (two kernel-6 convolutions and two pool-6 poolings)
+    to stay valid: compiling an architecture against a shorter input
+    raises during shape inference.
+    """
+    s = Structure("nt3-small", NT3_INPUTS, output_sources="last_cell")
+    prev = "rnaseq_expression"
+    for i in range(2):
+        ci = Cell(f"C{i}")
+        b = Block("B0", inputs=[prev])
+        b.add_node(VariableNode("N0", conv_ops(filters)))
+        b.add_node(VariableNode("N1", act_ops()))
+        b.add_node(VariableNode("N2", pool_ops()))
+        ci.add_block(b)
+        s.add_cell(ci)
+        prev = f"C{i}"
+    for i in range(2, 4):
+        ci = Cell(f"C{i}")
+        b = Block("B0", inputs=[prev])
+        b.add_node(VariableNode("N0", dense_ops(scale)))
+        b.add_node(VariableNode("N1", act_ops()))
+        b.add_node(VariableNode("N2", drop_ops()))
+        ci.add_block(b)
+        s.add_cell(ci)
+        prev = f"C{i}"
+    s.validate()
+    return s

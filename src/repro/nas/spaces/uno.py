@@ -1,0 +1,96 @@
+"""Uno search spaces (§3.1.2).
+
+Inputs: RNA-seq, scalar dose, drug descriptors, drug fingerprints.  The
+dose block is built from ConstantNodes (identity pass-through): the paper
+describes exactly this use of constant nodes ("if we want the dose value
+in Uno in every block, we can define a constant node"), and it is the only
+reading under which the stated cardinality 13¹² ≈ 2.3298×10¹³ holds —
+C0 then contributes 9 variable nodes and C1 three, with C1's two Add
+nodes constant.
+
+The large space has nine cells; each replica cell has one MLP node and
+one Connect node whose options are Null, all 15 non-empty input subsets,
+all previous cell outputs, and the N0 nodes of all previous replica
+cells.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+from ..nodes import ConstantNode, VariableNode
+from ..ops import AddOp, ConnectOp, IdentityOp
+from ..space import Block, Cell, Structure
+from .combo import mlp_ops
+
+__all__ = ["uno_small", "uno_large", "UNO_INPUTS"]
+
+UNO_INPUTS = ["cell_rnaseq", "dose", "drug_descriptors", "drug_fingerprints"]
+
+
+def _input_cell(scale: float) -> Cell:
+    """C0: four feature-encoding blocks; the dose block is constant."""
+    c0 = Cell("C0")
+    for bname, input_name in (("B0", "cell_rnaseq"), ("B1", "dose"),
+                              ("B2", "drug_descriptors"),
+                              ("B3", "drug_fingerprints")):
+        block = Block(bname, inputs=[input_name])
+        if input_name == "dose":
+            for i in range(3):
+                block.add_node(ConstantNode(f"N{i}", IdentityOp()))
+        else:
+            for i in range(3):
+                block.add_node(VariableNode(f"N{i}", mlp_ops(scale)))
+        c0.add_block(block)
+    return c0
+
+
+def uno_small(scale: float = 1.0) -> Structure:
+    """The small Uno space: |S| = 13¹² ≈ 2.3298×10¹³."""
+    s = Structure("uno-small", UNO_INPUTS, output_sources="last_cell")
+    s.add_cell(_input_cell(scale))
+
+    # C1.B0: N0 -> N1 -> N2(Add, +N0) -> N3 -> N4(Add, +N2)
+    c1 = Cell("C1")
+    b0 = Block("B0", inputs=["C0"])
+    b0.add_node(VariableNode("N0", mlp_ops(scale)))
+    b0.add_node(VariableNode("N1", mlp_ops(scale)))
+    b0.add_node(ConstantNode("N2", AddOp()), extra_inputs=[0])
+    b0.add_node(VariableNode("N3", mlp_ops(scale)))
+    b0.add_node(ConstantNode("N4", AddOp()), extra_inputs=[2])
+    c1.add_block(b0)
+    s.add_cell(c1)
+
+    s.validate()
+    return s
+
+
+def uno_large(scale: float = 1.0, replicas: int = 8) -> Structure:
+    """The large Uno space: nine cells, skip connections over inputs,
+    previous cell outputs, and previous cells' N0 nodes."""
+    if replicas < 1:
+        raise ValueError("need at least one replica")
+    s = Structure("uno-large", UNO_INPUTS, output_sources="last_cell")
+    s.add_cell(_input_cell(scale))
+
+    prev = "C0"
+    for i in range(1, replicas + 1):
+        ci = Cell(f"C{i}")
+        b0 = Block("B0", inputs=[prev])
+        b0.add_node(VariableNode("N0", mlp_ops(scale)))
+        ci.add_block(b0)
+
+        options: list[ConnectOp] = [ConnectOp()]  # Null
+        for r in range(1, len(UNO_INPUTS) + 1):   # 15 non-empty input subsets
+            for combo in combinations(UNO_INPUTS, r):
+                options.append(ConnectOp(*combo))
+        options += [ConnectOp(f"C{j}") for j in range(i)]          # prev outputs
+        options += [ConnectOp(f"C{j}.B0.N0") for j in range(1, i)]  # prev N0s
+        b1 = Block("B1", inputs=[prev])
+        b1.add_node(VariableNode("N1", options))
+        ci.add_block(b1)
+        s.add_cell(ci)
+        prev = f"C{i}"
+
+    s.validate()
+    return s

@@ -1,0 +1,65 @@
+"""Text rendering of search spaces and compiled plans.
+
+The paper's software builds Keras models automatically from generated
+architectures; inspecting what got built matters in practice.  These
+helpers render a search space's decision table and a compiled plan's
+layer graph as plain text (no plotting dependency).
+"""
+
+from __future__ import annotations
+
+from .builder import Plan
+from .nodes import ConstantNode, MirrorNode, VariableNode
+from .space import Structure
+
+__all__ = ["render_space", "render_plan"]
+
+
+def render_space(structure: Structure) -> str:
+    """A table of the structure's cells, blocks and node choices."""
+    lines = [f"Structure {structure.name!r}",
+             f"  inputs: {', '.join(structure.inputs)}",
+             f"  cardinality: {structure.size:.4e} "
+             f"({structure.num_actions} decisions)"]
+    action = 0
+    for cell in structure.cells:
+        lines.append(f"  {cell.name}:")
+        for block in cell.blocks:
+            lines.append(f"    {block.name} <- {', '.join(block.inputs)}")
+            for idx, node in enumerate(block.nodes):
+                extra = block.extra_inputs.get(idx)
+                suffix = f" (+ inputs from nodes {extra})" if extra else ""
+                if isinstance(node, VariableNode):
+                    ops = ", ".join(op.name for op in node.ops[:4])
+                    if node.num_ops > 4:
+                        ops += f", ... ({node.num_ops} options)"
+                    lines.append(f"      [a{action}] {node.name}: "
+                                 f"{{{ops}}}{suffix}")
+                    action += 1
+                elif isinstance(node, ConstantNode):
+                    lines.append(f"      {node.name}: {node.op.name} "
+                                 f"[constant]{suffix}")
+                elif isinstance(node, MirrorNode):
+                    lines.append(f"      {node.name}: mirror of "
+                                 f"{node.target.name}{suffix}")
+    out = structure.output_sources
+    lines.append(f"  output: concat({out if isinstance(out, str) else ', '.join(out)})")
+    return "\n".join(lines)
+
+
+def render_plan(plan: Plan) -> str:
+    """The compiled layer graph with shapes and parameter counts."""
+    lines = [f"Plan for space {plan.space!r}: "
+             f"{plan.total_params:,} trainable parameters, "
+             f"depth {plan.depth}"]
+    for name, shape in plan.input_shapes.items():
+        lines.append(f"  input {name:<28} {str(shape):>14}")
+    for node in plan.nodes:
+        label = node.op.name if node.op is not None else node.kind
+        share = f" [shares {node.share_of}]" if node.share_of else ""
+        params = f" {node.params:,}p" if node.params else ""
+        lines.append(f"  {node.name:<34} {label:<22} "
+                     f"{str(node.out_shape):>12}{params}{share}"
+                     f"  <- {', '.join(node.inputs)}")
+    lines.append(f"  output: {plan.output}")
+    return "\n".join(lines)

@@ -1,0 +1,28 @@
+"""numpy-only neural-network substrate.
+
+A minimal Keras-like framework sufficient to express every architecture in
+the paper's search spaces and baselines: dense / conv1d / pooling /
+dropout layers, DAG models with multi-input merge layers, weight sharing,
+Adam, and a training loop with the paper's low-fidelity controls (epoch
+budget, timeout, training-data fraction).
+"""
+
+from .conv import Conv1D, Flatten, MaxPooling1D
+from .graph import GraphModel, InputSpec
+from .layers import ACTIVATIONS, Activation, Dense, Dropout, Identity, Layer
+from .losses import CategoricalCrossentropy, Loss, MeanSquaredError, get_loss
+from .merge import Add, Concatenate, MergeLayer
+from .metrics import accuracy, get_metric, r2_score
+from .optimizers import SGD, Adam, Optimizer, clip_global_norm, get_optimizer
+from .recurrent import LSTMCell
+from .tensor import Parameter
+from .training import History, Trainer, train_model
+
+__all__ = [
+    "ACTIVATIONS", "Activation", "Adam", "Add", "CategoricalCrossentropy",
+    "Concatenate", "Conv1D", "Dense", "Dropout", "Flatten", "GraphModel",
+    "History", "Identity", "InputSpec", "LSTMCell", "Layer", "Loss",
+    "MaxPooling1D", "MeanSquaredError", "MergeLayer", "Optimizer",
+    "Parameter", "SGD", "Trainer", "accuracy", "clip_global_norm",
+    "get_loss", "get_metric", "get_optimizer", "r2_score", "train_model",
+]

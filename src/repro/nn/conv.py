@@ -1,0 +1,176 @@
+"""1-D convolutional layers for the NT3 search space.
+
+The paper's NT3 benchmark traverses long RNA-seq gene-expression vectors
+(d = 60,483) with ``Conv1D`` + ``MaxPooling1D`` stacks; the search space's
+``Conv_Node`` options vary the kernel size with 8 filters and stride 1.
+
+Per-sample feature shapes are ``(length, channels)``.  Convolution uses
+``valid`` padding, matching the Keras default the paper's software relied
+on.  The implementation is vectorized via
+:func:`numpy.lib.stride_tricks.sliding_window_view` (windows are views, no
+copies) with a single einsum per pass, per the HPC guide's
+vectorize-don't-loop rule; the only Python loop is over the kernel taps in
+the input-gradient scatter, which is O(kernel_size) regardless of data
+size.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
+
+from .initializers import glorot_uniform
+from .layers import Layer
+from .tensor import Parameter
+
+__all__ = ["Conv1D", "MaxPooling1D", "Flatten"]
+
+
+class Conv1D(Layer):
+    """1-D convolution, ``valid`` padding.
+
+    Parameters
+    ----------
+    filters: number of output channels.
+    kernel_size: receptive field length.
+    strides: step between windows.
+    activation: applied elementwise after the convolution.
+    """
+
+    def __init__(self, filters: int, kernel_size: int, strides: int = 1,
+                 activation: str = "linear", name: str = "") -> None:
+        super().__init__(name)
+        if filters <= 0 or kernel_size <= 0 or strides <= 0:
+            raise ValueError("filters, kernel_size and strides must be positive")
+        self.filters = filters
+        self.kernel_size = kernel_size
+        self.strides = strides
+        self.activation = activation
+        self.w: Parameter | None = None
+        self.b: Parameter | None = None
+        self._win: np.ndarray | None = None
+        self._pre: np.ndarray | None = None
+        self._out: np.ndarray | None = None
+        self._in_len = 0
+
+    def build(self, input_shape: tuple[int, ...], rng: np.random.Generator) -> tuple[int, ...]:
+        if len(input_shape) != 2:
+            raise ValueError(f"Conv1D expects (length, channels) input, got {input_shape}")
+        length, channels = input_shape
+        if length < self.kernel_size:
+            raise ValueError(
+                f"input length {length} shorter than kernel {self.kernel_size}")
+        self.w = Parameter(
+            glorot_uniform((self.kernel_size, channels, self.filters), rng),
+            f"{self.name}.w")
+        self.b = Parameter(np.zeros(self.filters), f"{self.name}.b")
+        out_len = (length - self.kernel_size) // self.strides + 1
+        self.built = True
+        self.input_shape = tuple(input_shape)
+        self.output_shape = (out_len, self.filters)
+        return self.output_shape
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        self._in_len = x.shape[1]
+        win = sliding_window_view(x, self.kernel_size, axis=1)  # (B, L', C, K)
+        if self.strides > 1:
+            win = win[:, ::self.strides]
+        self._win = win
+        self._pre = np.einsum("blck,kcf->blf", win, self.w.value) + self.b.value
+        from .layers import ACTIVATIONS
+        fn, _ = ACTIVATIONS[self.activation]
+        self._out = fn(self._pre)
+        return self._out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        from .layers import ACTIVATIONS
+        if self.activation == "softmax":
+            s = self._out
+            dot = (grad_out * s).sum(axis=-1, keepdims=True)
+            grad_pre = s * (grad_out - dot)
+        else:
+            _, gfn = ACTIVATIONS[self.activation]
+            grad_pre = grad_out * gfn(self._pre, self._out)
+        self.w.grad += np.einsum("blck,blf->kcf", self._win, grad_pre)
+        self.b.grad += grad_pre.sum(axis=(0, 1))
+        batch, out_len, _ = grad_pre.shape
+        channels = self.w.shape[1]
+        grad_in = np.zeros((batch, self._in_len, channels))
+        s = self.strides
+        for k in range(self.kernel_size):
+            # window l covers input position k + s*l
+            grad_in[:, k:k + s * out_len:s, :] += grad_pre @ self.w.value[k].T
+        return grad_in
+
+    def parameters(self) -> list[Parameter]:
+        return [self.w, self.b] if self.w is not None else []
+
+
+class MaxPooling1D(Layer):
+    """Max pooling with stride equal to the pool size (Keras default).
+
+    A trailing remainder shorter than ``pool_size`` is dropped, matching
+    ``valid`` padding.
+    """
+
+    def __init__(self, pool_size: int, name: str = "") -> None:
+        super().__init__(name)
+        if pool_size <= 0:
+            raise ValueError("pool_size must be positive")
+        self.pool_size = pool_size
+        self._argmax: np.ndarray | None = None
+        self._in_shape: tuple[int, ...] | None = None
+
+    def build(self, input_shape: tuple[int, ...], rng: np.random.Generator) -> tuple[int, ...]:
+        if len(input_shape) != 2:
+            raise ValueError(f"MaxPooling1D expects (length, channels), got {input_shape}")
+        length, channels = input_shape
+        out_len = length // self.pool_size
+        if out_len == 0:
+            raise ValueError(
+                f"input length {length} shorter than pool size {self.pool_size}")
+        self.built = True
+        self.input_shape = tuple(input_shape)
+        self.output_shape = (out_len, channels)
+        return self.output_shape
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        batch, length, channels = x.shape
+        p = self.pool_size
+        out_len = length // p
+        self._in_shape = x.shape
+        xr = x[:, :out_len * p].reshape(batch, out_len, p, channels)
+        self._argmax = xr.argmax(axis=2)
+        return xr.max(axis=2)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        batch, length, channels = self._in_shape
+        p = self.pool_size
+        out_len = length // p
+        grad_r = np.zeros((batch, out_len, p, channels))
+        b_idx, l_idx, c_idx = np.ogrid[:batch, :out_len, :channels]
+        grad_r[b_idx, l_idx, self._argmax, c_idx] = grad_out
+        grad_in = np.zeros((batch, length, channels))
+        grad_in[:, :out_len * p] = grad_r.reshape(batch, out_len * p, channels)
+        return grad_in
+
+
+class Flatten(Layer):
+    """Flatten ``(length, channels)`` features to a vector."""
+
+    def __init__(self, name: str = "") -> None:
+        super().__init__(name)
+        self._in_shape: tuple[int, ...] | None = None
+
+    def build(self, input_shape: tuple[int, ...], rng: np.random.Generator) -> tuple[int, ...]:
+        self.built = True
+        self.input_shape = tuple(input_shape)
+        self.output_shape = (int(np.prod(input_shape)),)
+        return self.output_shape
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        self._in_shape = x.shape
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        return grad_out.reshape(self._in_shape)

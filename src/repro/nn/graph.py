@@ -1,0 +1,218 @@
+"""DAG model container.
+
+The paper's architectures are multi-input directed acyclic graphs (three
+input layers for Combo, four for Uno, skip connections everywhere), so the
+substrate's model class is graph-first rather than sequential: named nodes
+hold layers, edges carry activations, and forward/backward walk a cached
+topological order.
+
+Parameters are deduplicated *by identity* when collected, which is what
+makes MirrorNode weight sharing count shared submodels once — exactly the
+accounting the paper's trainable-parameter ratios rely on.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable
+
+import numpy as np
+
+from .layers import Layer
+from .merge import MergeLayer
+from .tensor import Parameter
+
+__all__ = ["GraphModel", "InputSpec"]
+
+
+class InputSpec:
+    """A placeholder node carrying a per-sample input shape."""
+
+    __slots__ = ("name", "shape")
+
+    def __init__(self, name: str, shape: tuple[int, ...]) -> None:
+        self.name = name
+        self.shape = tuple(shape)
+
+
+class GraphModel:
+    """A DAG of layers with explicit forward/backward execution.
+
+    Usage::
+
+        m = GraphModel()
+        m.add_input("x", shape=(16,))
+        m.add("h", Dense(32, "relu"), inputs=["x"])
+        m.add("y", Dense(1), inputs=["h"])
+        m.set_output("y")
+        m.build(np.random.default_rng(0))
+        pred = m.forward({"x": batch})
+    """
+
+    def __init__(self) -> None:
+        self.inputs: dict[str, InputSpec] = {}
+        self.layers: dict[str, Layer] = {}
+        self.node_inputs: dict[str, list[str]] = {}
+        self.output_name: str | None = None
+        self.built = False
+        self._order: list[str] = []
+        self._values: dict[str, np.ndarray] = {}
+        self._consumers: dict[str, list[str]] = {}
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_input(self, name: str, shape: Iterable[int]) -> None:
+        self._check_fresh(name)
+        self.inputs[name] = InputSpec(name, tuple(shape))
+
+    def add(self, name: str, layer: Layer, inputs: list[str]) -> None:
+        self._check_fresh(name)
+        if not inputs:
+            raise ValueError(f"node {name!r} must have at least one input")
+        if len(inputs) > 1 and not isinstance(layer, MergeLayer):
+            raise ValueError(
+                f"node {name!r}: layer {type(layer).__name__} accepts one "
+                f"input but {len(inputs)} were given")
+        for src in inputs:
+            if src not in self.inputs and src not in self.layers:
+                raise KeyError(f"node {name!r} references unknown input {src!r}")
+        self.layers[name] = layer
+        self.node_inputs[name] = list(inputs)
+
+    def set_output(self, name: str) -> None:
+        if name not in self.layers and name not in self.inputs:
+            raise KeyError(f"unknown output node {name!r}")
+        self.output_name = name
+
+    def _check_fresh(self, name: str) -> None:
+        if name in self.inputs or name in self.layers:
+            raise ValueError(f"duplicate node name {name!r}")
+        if self.built:
+            raise RuntimeError("cannot add nodes to a built model")
+
+    # ------------------------------------------------------------------
+    # build
+    # ------------------------------------------------------------------
+    def build(self, rng: np.random.Generator) -> "GraphModel":
+        if self.output_name is None:
+            raise RuntimeError("set_output must be called before build")
+        self._order = self._topological_order()
+        shapes: dict[str, tuple[int, ...]] = {
+            name: spec.shape for name, spec in self.inputs.items()}
+        for name in self._order:
+            layer = self.layers[name]
+            if layer.built:
+                # Pre-built layers (e.g. by the NAS compiler, which builds
+                # eagerly to share mirror-node weights) keep their state.
+                shapes[name] = layer.output_shape
+                continue
+            in_shapes = [shapes[s] for s in self.node_inputs[name]]
+            if isinstance(layer, MergeLayer):
+                shapes[name] = layer.build_multi(in_shapes, rng)
+            else:
+                shapes[name] = layer.build(in_shapes[0], rng)
+        self._consumers = {n: [] for n in list(self.inputs) + list(self.layers)}
+        for name, srcs in self.node_inputs.items():
+            for s in srcs:
+                self._consumers[s].append(name)
+        self.built = True
+        self.output_shape = shapes[self.output_name]
+        return self
+
+    def _topological_order(self) -> list[str]:
+        indeg = {n: len(srcs) - sum(s in self.inputs for s in srcs)
+                 for n, srcs in self.node_inputs.items()}
+        layer_consumers: dict[str, list[str]] = {n: [] for n in self.layers}
+        for n, srcs in self.node_inputs.items():
+            for s in srcs:
+                if s in self.layers:
+                    layer_consumers[s].append(n)
+        ready = deque(sorted(n for n, d in indeg.items() if d == 0))
+        order: list[str] = []
+        while ready:
+            n = ready.popleft()
+            order.append(n)
+            for c in layer_consumers[n]:
+                indeg[c] -= 1
+                if indeg[c] == 0:
+                    ready.append(c)
+        if len(order) != len(self.layers):
+            raise ValueError("graph contains a cycle")
+        return order
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def forward(self, inputs: dict[str, np.ndarray], training: bool = False) -> np.ndarray:
+        if not self.built:
+            raise RuntimeError("model is not built")
+        missing = set(self.inputs) - set(inputs)
+        if missing:
+            raise KeyError(f"missing inputs: {sorted(missing)}")
+        values: dict[str, np.ndarray] = {
+            name: np.asarray(inputs[name], dtype=np.float64)
+            for name in self.inputs}
+        for name in self._order:
+            layer = self.layers[name]
+            xs = [values[s] for s in self.node_inputs[name]]
+            if isinstance(layer, MergeLayer):
+                values[name] = layer.forward_multi(xs, training)
+            else:
+                values[name] = layer.forward(xs[0], training)
+        self._values = values
+        return values[self.output_name]
+
+    def backward(self, grad_output: np.ndarray) -> dict[str, np.ndarray]:
+        """Backpropagate; returns gradients w.r.t. each model input."""
+        grads: dict[str, np.ndarray] = {
+            self.output_name: np.asarray(grad_output, dtype=np.float64)}
+        for name in reversed(self._order):
+            g = grads.pop(name, None)
+            if g is None:
+                continue  # node not on a path to the output
+            layer = self.layers[name]
+            if isinstance(layer, MergeLayer):
+                in_grads = layer.backward_multi(g)
+            else:
+                in_grads = [layer.backward(g)]
+            for src, ig in zip(self.node_inputs[name], in_grads):
+                if src in grads:
+                    grads[src] = grads[src] + ig
+                else:
+                    grads[src] = ig
+        return {name: grads.get(name, np.zeros((1,) + self.inputs[name].shape))
+                for name in self.inputs}
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def parameters(self) -> list[Parameter]:
+        """All trainable parameters, shared ones counted once."""
+        seen: dict[int, Parameter] = {}
+        for name in self._order or self.layers:
+            for p in self.layers[name].parameters():
+                seen.setdefault(id(p), p)
+        return list(seen.values())
+
+    @property
+    def num_params(self) -> int:
+        return sum(p.size for p in self.parameters())
+
+    def zero_grad(self) -> None:
+        for p in self.parameters():
+            p.zero_grad()
+
+    def node_value(self, name: str) -> np.ndarray:
+        """Activation of a node from the most recent forward pass."""
+        return self._values[name]
+
+    def summary(self) -> str:
+        lines = [f"{'node':<28}{'layer':<18}{'params':>10}"]
+        for name in self.inputs:
+            lines.append(f"{name:<28}{'Input':<18}{0:>10}")
+        for name in (self._order or self.layers):
+            layer = self.layers[name]
+            lines.append(f"{name:<28}{type(layer).__name__:<18}{layer.num_params:>10}")
+        lines.append(f"total trainable parameters: {self.num_params}")
+        return "\n".join(lines)

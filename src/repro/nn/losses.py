@@ -1,0 +1,66 @@
+"""Loss functions.
+
+Each loss exposes ``value(pred, target)`` and ``grad(pred, target)``; the
+gradient is with respect to the prediction and already averaged over the
+batch, so optimizer steps are batch-size independent.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Loss", "MeanSquaredError", "CategoricalCrossentropy", "get_loss"]
+
+_EPS = 1e-12
+
+
+class Loss:
+    def value(self, pred: np.ndarray, target: np.ndarray) -> float:
+        raise NotImplementedError
+
+    def grad(self, pred: np.ndarray, target: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+
+class MeanSquaredError(Loss):
+    """MSE for the Combo / Uno regression benchmarks."""
+
+    def value(self, pred, target):
+        pred = np.asarray(pred, dtype=np.float64)
+        target = np.asarray(target, dtype=np.float64)
+        return float(np.mean((pred - target) ** 2))
+
+    def grad(self, pred, target):
+        pred = np.asarray(pred, dtype=np.float64)
+        target = np.asarray(target, dtype=np.float64)
+        return 2.0 * (pred - target) / pred.size
+
+
+class CategoricalCrossentropy(Loss):
+    """Cross-entropy over probability outputs (softmax applied upstream).
+
+    Targets are one-hot ``(batch, classes)`` arrays, as produced by
+    :func:`repro.problems.datasets.one_hot`.
+    """
+
+    def value(self, pred, target):
+        p = np.clip(np.asarray(pred, dtype=np.float64), _EPS, 1.0)
+        return float(-np.mean(np.sum(target * np.log(p), axis=-1)))
+
+    def grad(self, pred, target):
+        p = np.clip(np.asarray(pred, dtype=np.float64), _EPS, 1.0)
+        return -(np.asarray(target, dtype=np.float64) / p) / pred.shape[0]
+
+
+_LOSSES = {
+    "mse": MeanSquaredError,
+    "categorical_crossentropy": CategoricalCrossentropy,
+}
+
+
+def get_loss(name: str) -> Loss:
+    """Look up a loss by its Keras-style name."""
+    try:
+        return _LOSSES[name]()
+    except KeyError:
+        raise ValueError(f"unknown loss {name!r}; choose from {sorted(_LOSSES)}") from None

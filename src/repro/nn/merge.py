@@ -1,0 +1,102 @@
+"""Multi-input merge layers: Concatenate and Add.
+
+These implement the paper's cell/structure output rules (``Concatenate``)
+and the ``Add`` ConstantNode used in the Uno search space.  Unlike
+single-input layers they take a *list* of input arrays.
+
+``Add`` follows the residual-connection convention used by NAS systems for
+heterogeneous tensors: when operand widths differ, shorter operands are
+zero-padded to the widest width before summation (a projection-free
+alignment that keeps the operation parameter-free, which matters because
+``Add`` nodes are excluded from the trainable search space).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .layers import Layer
+
+__all__ = ["MergeLayer", "Concatenate", "Add"]
+
+
+class MergeLayer(Layer):
+    """Base class for layers combining several inputs."""
+
+    def build_multi(self, input_shapes: list[tuple[int, ...]],
+                    rng: np.random.Generator) -> tuple[int, ...]:
+        raise NotImplementedError
+
+    def forward_multi(self, xs: list[np.ndarray], training: bool = False) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward_multi(self, grad_out: np.ndarray) -> list[np.ndarray]:
+        raise NotImplementedError
+
+    # single-input protocol degenerates to the multi-input one
+    def build(self, input_shape, rng):
+        return self.build_multi([input_shape], rng)
+
+    def forward(self, x, training=False):
+        return self.forward_multi([x], training)
+
+    def backward(self, grad_out):
+        return self.backward_multi(grad_out)[0]
+
+
+class Concatenate(MergeLayer):
+    """Concatenate flat feature vectors along the feature axis."""
+
+    def __init__(self, name: str = "") -> None:
+        super().__init__(name)
+        self._widths: list[int] = []
+
+    def build_multi(self, input_shapes, rng):
+        for s in input_shapes:
+            if len(s) != 1:
+                raise ValueError(f"Concatenate expects flat inputs, got {s}")
+        self._widths = [s[0] for s in input_shapes]
+        self.built = True
+        self.input_shape = tuple(input_shapes[0])
+        self.output_shape = (sum(self._widths),)
+        return self.output_shape
+
+    def forward_multi(self, xs, training=False):
+        if len(xs) == 1:
+            return xs[0]
+        return np.concatenate(xs, axis=-1)
+
+    def backward_multi(self, grad_out):
+        if len(self._widths) == 1:
+            return [grad_out]
+        splits = np.cumsum(self._widths[:-1])
+        return list(np.split(grad_out, splits, axis=-1))
+
+
+class Add(MergeLayer):
+    """Elementwise addition with zero-padding width alignment."""
+
+    def __init__(self, name: str = "") -> None:
+        super().__init__(name)
+        self._widths: list[int] = []
+        self._out_width = 0
+
+    def build_multi(self, input_shapes, rng):
+        for s in input_shapes:
+            if len(s) != 1:
+                raise ValueError(f"Add expects flat inputs, got {s}")
+        self._widths = [s[0] for s in input_shapes]
+        self._out_width = max(self._widths)
+        self.built = True
+        self.input_shape = tuple(input_shapes[0])
+        self.output_shape = (self._out_width,)
+        return self.output_shape
+
+    def forward_multi(self, xs, training=False):
+        out = np.zeros((xs[0].shape[0], self._out_width))
+        for x in xs:
+            out[:, :x.shape[-1]] += x
+        return out
+
+    def backward_multi(self, grad_out):
+        return [grad_out[:, :w] for w in self._widths]

@@ -1,0 +1,46 @@
+"""Evaluation metrics used as NAS rewards.
+
+The paper uses the validation R² as the reward for the Combo and Uno
+regression benchmarks and classification accuracy (ACC) for NT3.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["r2_score", "accuracy", "get_metric"]
+
+
+def r2_score(pred: np.ndarray, target: np.ndarray) -> float:
+    """Coefficient of determination, 1 - SS_res / SS_tot.
+
+    Returns a value in (-inf, 1]; a constant predictor at the target mean
+    scores 0.  A degenerate constant *target* yields 0 rather than a
+    division error.
+    """
+    pred = np.asarray(pred, dtype=np.float64).ravel()
+    target = np.asarray(target, dtype=np.float64).ravel()
+    ss_res = float(np.sum((target - pred) ** 2))
+    ss_tot = float(np.sum((target - target.mean()) ** 2))
+    if ss_tot == 0.0:
+        return 0.0
+    return 1.0 - ss_res / ss_tot
+
+
+def accuracy(pred: np.ndarray, target: np.ndarray) -> float:
+    """Classification accuracy over class-probability (or one-hot) arrays."""
+    pred = np.asarray(pred)
+    target = np.asarray(target)
+    pred_cls = pred.argmax(axis=-1) if pred.ndim > 1 else pred
+    target_cls = target.argmax(axis=-1) if target.ndim > 1 else target
+    return float(np.mean(pred_cls == target_cls))
+
+
+_METRICS = {"r2": r2_score, "accuracy": accuracy}
+
+
+def get_metric(name: str):
+    try:
+        return _METRICS[name]
+    except KeyError:
+        raise ValueError(f"unknown metric {name!r}; choose from {sorted(_METRICS)}") from None

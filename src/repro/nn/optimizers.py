@@ -1,0 +1,108 @@
+"""Gradient-descent optimizers.
+
+Adam uses the same defaults as the paper's experiments (learning rate
+0.001), for both reward estimation and post-training.  Optimizers operate
+on lists of :class:`~repro.nn.tensor.Parameter` objects and keep their
+moment state keyed by parameter identity, so shared (mirrored) parameters
+are updated once per step even though they appear in multiple layers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tensor import Parameter
+
+__all__ = ["Optimizer", "SGD", "Adam", "get_optimizer", "clip_global_norm"]
+
+
+def clip_global_norm(grads: list[np.ndarray], max_norm: float) -> float:
+    """Scale gradients in place so their global L2 norm is <= max_norm.
+
+    Returns the pre-clip norm.  Used by the PPO update (OpenAI Baselines
+    clips policy gradients at 0.5 by default).
+    """
+    total = float(np.sqrt(sum(float(np.sum(g * g)) for g in grads)))
+    if total > max_norm and total > 0.0:
+        scale = max_norm / total
+        for g in grads:
+            g *= scale
+    return total
+
+
+class Optimizer:
+    def __init__(self, params: list[Parameter]) -> None:
+        self.params = list(params)
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.zero_grad()
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum."""
+
+    def __init__(self, params: list[Parameter], lr: float = 0.01,
+                 momentum: float = 0.0) -> None:
+        super().__init__(params)
+        if lr <= 0:
+            raise ValueError("lr must be positive")
+        self.lr = lr
+        self.momentum = momentum
+        self._velocity = {id(p): np.zeros_like(p.value) for p in self.params}
+
+    def step(self) -> None:
+        for p in self.params:
+            if self.momentum:
+                v = self._velocity[id(p)]
+                v *= self.momentum
+                v -= self.lr * p.grad
+                p.value += v
+            else:
+                p.value -= self.lr * p.grad
+
+
+class Adam(Optimizer):
+    """Adam with bias correction (Kingma & Ba, 2015)."""
+
+    def __init__(self, params: list[Parameter], lr: float = 0.001,
+                 beta1: float = 0.9, beta2: float = 0.999,
+                 eps: float = 1e-8) -> None:
+        super().__init__(params)
+        if lr <= 0:
+            raise ValueError("lr must be positive")
+        self.lr = lr
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self.t = 0
+        self._m = {id(p): np.zeros_like(p.value) for p in self.params}
+        self._v = {id(p): np.zeros_like(p.value) for p in self.params}
+
+    def step(self) -> None:
+        self.t += 1
+        b1t = 1.0 - self.beta1 ** self.t
+        b2t = 1.0 - self.beta2 ** self.t
+        for p in self.params:
+            m = self._m[id(p)]
+            v = self._v[id(p)]
+            m *= self.beta1
+            m += (1.0 - self.beta1) * p.grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * p.grad * p.grad
+            p.value -= self.lr * (m / b1t) / (np.sqrt(v / b2t) + self.eps)
+
+
+_OPTIMIZERS = {"sgd": SGD, "adam": Adam}
+
+
+def get_optimizer(name: str, params: list[Parameter], **kwargs) -> Optimizer:
+    try:
+        cls = _OPTIMIZERS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown optimizer {name!r}; choose from {sorted(_OPTIMIZERS)}") from None
+    return cls(params, **kwargs)

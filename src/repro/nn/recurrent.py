@@ -1,0 +1,115 @@
+"""LSTM cell with explicit backpropagation through time.
+
+The paper's controller is a single-layer LSTM with 32 units driving both
+the policy head and the value head.  Because PPO needs gradients of a
+clipped surrogate objective through the whole action sequence, the cell
+exposes stateless ``step``/``backward_step`` functions operating on
+explicit carry and cache values; the policy network owns the time loop and
+stores one cache per step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .initializers import glorot_uniform, orthogonal
+from .tensor import Parameter
+
+__all__ = ["LSTMCell", "LSTMStepCache"]
+
+
+def _sigmoid(x: np.ndarray) -> np.ndarray:
+    out = np.empty_like(x)
+    pos = x >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+    ex = np.exp(x[~pos])
+    out[~pos] = ex / (1.0 + ex)
+    return out
+
+
+@dataclass
+class LSTMStepCache:
+    """Intermediates of one time step needed by ``backward_step``."""
+
+    x: np.ndarray
+    h_prev: np.ndarray
+    c_prev: np.ndarray
+    i: np.ndarray
+    f: np.ndarray
+    g: np.ndarray
+    o: np.ndarray
+    c: np.ndarray
+    tanh_c: np.ndarray
+
+
+class LSTMCell:
+    """Standard LSTM cell; gate order is (input, forget, cell, output)."""
+
+    def __init__(self, input_size: int, hidden_size: int,
+                 rng: np.random.Generator, name: str = "lstm") -> None:
+        if input_size <= 0 or hidden_size <= 0:
+            raise ValueError("input_size and hidden_size must be positive")
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        h = hidden_size
+        self.wx = Parameter(glorot_uniform((input_size, 4 * h), rng), f"{name}.wx")
+        self.wh = Parameter(orthogonal((h, 4 * h), rng), f"{name}.wh")
+        bias = np.zeros(4 * h)
+        bias[h:2 * h] = 1.0  # unit forget-gate bias, the standard stabilizer
+        self.b = Parameter(bias, f"{name}.b")
+
+    def parameters(self) -> list[Parameter]:
+        return [self.wx, self.wh, self.b]
+
+    @property
+    def num_params(self) -> int:
+        return sum(p.size for p in self.parameters())
+
+    def initial_state(self, batch: int) -> tuple[np.ndarray, np.ndarray]:
+        h = np.zeros((batch, self.hidden_size))
+        return h, h.copy()
+
+    def step(self, x: np.ndarray, h_prev: np.ndarray, c_prev: np.ndarray
+             ) -> tuple[np.ndarray, np.ndarray, LSTMStepCache]:
+        """One forward step; returns (h, c, cache)."""
+        hsz = self.hidden_size
+        z = x @ self.wx.value + h_prev @ self.wh.value + self.b.value
+        i = _sigmoid(z[:, :hsz])
+        f = _sigmoid(z[:, hsz:2 * hsz])
+        g = np.tanh(z[:, 2 * hsz:3 * hsz])
+        o = _sigmoid(z[:, 3 * hsz:])
+        c = f * c_prev + i * g
+        tanh_c = np.tanh(c)
+        h = o * tanh_c
+        return h, c, LSTMStepCache(x, h_prev, c_prev, i, f, g, o, c, tanh_c)
+
+    def backward_step(self, dh: np.ndarray, dc: np.ndarray,
+                      cache: LSTMStepCache
+                      ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Backward through one step.
+
+        ``dh``/``dc`` are gradients flowing into this step's outputs (from
+        the loss at this step plus from the next step).  Accumulates
+        parameter gradients and returns ``(dx, dh_prev, dc_prev)``.
+        """
+        i, f, g, o = cache.i, cache.f, cache.g, cache.o
+        dc_total = dc + dh * o * (1.0 - cache.tanh_c ** 2)
+        do = dh * cache.tanh_c
+        di = dc_total * g
+        df = dc_total * cache.c_prev
+        dg = dc_total * i
+        dz = np.concatenate([
+            di * i * (1.0 - i),
+            df * f * (1.0 - f),
+            dg * (1.0 - g * g),
+            do * o * (1.0 - o),
+        ], axis=-1)
+        self.wx.grad += cache.x.T @ dz
+        self.wh.grad += cache.h_prev.T @ dz
+        self.b.grad += dz.sum(axis=0)
+        dx = dz @ self.wx.value.T
+        dh_prev = dz @ self.wh.value.T
+        dc_prev = dc_total * f
+        return dx, dh_prev, dc_prev

@@ -1,0 +1,58 @@
+"""Model weight persistence.
+
+Saves/loads a :class:`~repro.nn.graph.GraphModel`'s parameters to ``.npz``
+keyed by parameter name, deduplicating shared (mirrored) parameters.
+Loading requires a structurally identical model (same parameter names and
+shapes), which the NAS pipeline guarantees by rebuilding from the same
+architecture choices.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from .graph import GraphModel
+
+__all__ = ["save_weights", "load_weights"]
+
+
+def _named_params(model: GraphModel):
+    params = model.parameters()
+    names = [p.name or f"param{i}" for i, p in enumerate(params)]
+    if len(set(names)) != len(names):
+        # disambiguate anonymous/shared names deterministically
+        seen: dict[str, int] = {}
+        unique = []
+        for n in names:
+            seen[n] = seen.get(n, 0) + 1
+            unique.append(n if seen[n] == 1 else f"{n}#{seen[n]}")
+        names = unique
+    return list(zip(names, params))
+
+
+def save_weights(model: GraphModel, path: str | Path) -> None:
+    """Write all trainable parameters (shared ones once) to ``path``."""
+    if not model.built:
+        raise ValueError("model must be built before saving")
+    arrays = {name: p.value for name, p in _named_params(model)}
+    np.savez(Path(path), **arrays)
+
+
+def load_weights(model: GraphModel, path: str | Path) -> None:
+    """Load parameters saved by :func:`save_weights` into ``model``."""
+    if not model.built:
+        raise ValueError("model must be built before loading")
+    with np.load(Path(path)) as data:
+        pairs = _named_params(model)
+        missing = [n for n, _ in pairs if n not in data.files]
+        if missing:
+            raise KeyError(f"checkpoint lacks parameters: {missing[:5]}")
+        for name, p in pairs:
+            value = data[name]
+            if value.shape != p.value.shape:
+                raise ValueError(
+                    f"shape mismatch for {name}: checkpoint "
+                    f"{value.shape} vs model {p.value.shape}")
+            p.value[...] = value

@@ -1,0 +1,52 @@
+"""Trainable parameter container for the numpy neural-network substrate.
+
+The framework performs reverse-mode differentiation explicitly layer by
+layer (no tape): every layer implements ``forward`` and ``backward`` and
+accumulates gradients into :class:`Parameter` objects.  Keeping parameters
+as first-class objects (rather than raw arrays) is what makes the paper's
+*MirrorNode* weight sharing trivial: two layers holding the same
+:class:`Parameter` instance share both value and gradient accumulator.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Parameter"]
+
+
+class Parameter:
+    """A trainable array with a gradient accumulator.
+
+    Parameters
+    ----------
+    value:
+        Initial value.  Stored as ``float64`` for numerically robust
+        gradient checks; the training workloads in this repository are
+        small enough that the extra width is irrelevant.
+    name:
+        Optional human-readable identifier, used in error messages and
+        analytics output.
+    """
+
+    __slots__ = ("value", "grad", "name")
+
+    def __init__(self, value: np.ndarray, name: str = "") -> None:
+        self.value = np.asarray(value, dtype=np.float64)
+        self.grad = np.zeros_like(self.value)
+        self.name = name
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.value.shape
+
+    @property
+    def size(self) -> int:
+        """Number of scalar entries (trainable parameter count)."""
+        return int(self.value.size)
+
+    def zero_grad(self) -> None:
+        self.grad.fill(0.0)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Parameter(name={self.name!r}, shape={self.value.shape})"

@@ -1,0 +1,28 @@
+"""The three CANDLE benchmark problems with synthetic data."""
+
+from .base import Problem
+from .combo import COMBO_PAPER_SHAPES, combo_baseline, combo_problem
+from .datasets import (Dataset, make_combo_data, make_nt3_data,
+                       make_uno_data, one_hot)
+from .nt3 import NT3_PAPER_SHAPES, nt3_baseline, nt3_problem
+from .uno import UNO_PAPER_SHAPES, uno_baseline, uno_problem
+
+__all__ = [
+    "COMBO_PAPER_SHAPES", "Dataset", "NT3_PAPER_SHAPES", "Problem",
+    "UNO_PAPER_SHAPES", "combo_baseline", "combo_problem",
+    "make_combo_data", "make_nt3_data", "make_uno_data", "nt3_baseline",
+    "nt3_problem", "one_hot", "uno_baseline", "uno_problem",
+    "get_problem",
+]
+
+_PROBLEMS = {"combo": combo_problem, "uno": uno_problem, "nt3": nt3_problem}
+
+
+def get_problem(name: str, **kwargs) -> Problem:
+    """Construct a benchmark problem by name (``combo``/``uno``/``nt3``)."""
+    try:
+        factory = _PROBLEMS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown problem {name!r}; choose from {sorted(_PROBLEMS)}") from None
+    return factory(**kwargs)

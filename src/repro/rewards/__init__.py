@@ -1,0 +1,9 @@
+"""Reward-estimation strategies (§3.3)."""
+
+from .adaptive import AdaptiveFidelityReward
+from .base import EvalResult, RewardModel
+from .composite import CompositeReward
+from .surrogate import SurrogateReward
+from .training import TrainingReward, arch_seed
+
+__all__ = ['AdaptiveFidelityReward', 'CompositeReward', 'EvalResult', 'RewardModel', 'SurrogateReward', 'TrainingReward', 'arch_seed']

@@ -1,0 +1,67 @@
+"""Adaptive reward estimation (§7 future work).
+
+§3.3 notes that low-fidelity training biases reward estimates and cites
+work that gradually increases fidelity as the search progresses; §7
+lists "developing adaptive reward estimation approaches" as future
+work.  :class:`AdaptiveFidelityReward` implements the natural schedule:
+wrap any reward model whose ``evaluate`` accepts a ``train_fraction``
+override (both :class:`~repro.rewards.training.TrainingReward` and
+:class:`~repro.rewards.surrogate.SurrogateReward` do) and raise the
+fraction at evaluation-count milestones.
+
+Early search thus screens many architectures cheaply (few hit the
+timeout) while the late search ranks survivors at high fidelity — the
+compromise Fig. 11 shows neither fixed extreme achieves.
+"""
+
+from __future__ import annotations
+
+from ..nas.arch import Architecture
+from .base import EvalResult, RewardModel
+
+__all__ = ["AdaptiveFidelityReward"]
+
+
+class AdaptiveFidelityReward(RewardModel):
+    """Evaluation-count-scheduled training-data fraction.
+
+    Parameters
+    ----------
+    base:
+        The wrapped reward model.
+    schedule:
+        ``[(evals_threshold, fraction), ...]``; the fraction of the last
+        entry whose threshold has been reached applies.  Must start at
+        threshold 0 and be strictly increasing in both columns.
+    """
+
+    def __init__(self, base: RewardModel,
+                 schedule: list[tuple[int, float]]) -> None:
+        if not schedule:
+            raise ValueError("schedule must be non-empty")
+        if schedule[0][0] != 0:
+            raise ValueError("schedule must start at evaluation 0")
+        for (t0, f0), (t1, f1) in zip(schedule, schedule[1:]):
+            if t1 <= t0 or f1 <= f0:
+                raise ValueError(
+                    "schedule must be strictly increasing in both "
+                    "thresholds and fractions")
+        for _, f in schedule:
+            if not 0.0 < f <= 1.0:
+                raise ValueError("fractions must be in (0, 1]")
+        self.base = base
+        self.schedule = list(schedule)
+        self.evaluations = 0
+
+    def current_fraction(self) -> float:
+        fraction = self.schedule[0][1]
+        for threshold, f in self.schedule:
+            if self.evaluations >= threshold:
+                fraction = f
+        return fraction
+
+    def evaluate(self, arch: Architecture, agent_seed: int = 0) -> EvalResult:
+        fraction = self.current_fraction()
+        self.evaluations += 1
+        return self.base.evaluate(arch, agent_seed,
+                                  train_fraction=fraction)

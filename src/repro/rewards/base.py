@@ -1,0 +1,49 @@
+"""Reward-estimation interface (§3.3).
+
+A reward model turns an architecture into a scalar reward plus the cost
+of obtaining it.  Two implementations exist:
+
+* :class:`~repro.rewards.training.TrainingReward` really trains the
+  numpy model (used for post-training experiments and laptop-scale
+  searches);
+* :class:`~repro.rewards.surrogate.SurrogateReward` computes a seeded
+  deterministic architecture-quality score plus agent-keyed noise and a
+  cost-model duration (used for at-scale simulated searches).
+
+Both honour the paper's protocol detail that the *same architecture
+evaluated by different agents gets different rewards* (agent-specific
+random weight initialization), which is why the evaluation cache is
+agent-local.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..nas.arch import Architecture
+
+__all__ = ["EvalResult", "RewardModel"]
+
+
+@dataclass(frozen=True)
+class EvalResult:
+    """Outcome of one reward estimation."""
+
+    reward: float
+    duration: float          # single-node wall seconds (real or modelled)
+    params: int              # trainable parameters of the architecture
+    timed_out: bool = False
+
+    def __post_init__(self) -> None:
+        if self.duration < 0:
+            raise ValueError("duration must be non-negative")
+
+
+class RewardModel:
+    """Maps (architecture, agent seed) to an :class:`EvalResult`."""
+
+    #: reward granted when an architecture fails to compile/train at all
+    FAILURE_REWARD = -1.0
+
+    def evaluate(self, arch: Architecture, agent_seed: int = 0) -> EvalResult:
+        raise NotImplementedError

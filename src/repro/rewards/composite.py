@@ -1,0 +1,68 @@
+"""Custom multi-objective rewards.
+
+§5 notes that "other metrics can be specified, such as model size,
+training time, and inference time for a fixed accuracy using a custom
+reward function", and §7 lists multi-objective NAS as future work.
+:class:`CompositeReward` implements that: it wraps a base reward model
+and mixes its accuracy reward with parameter-count and training-time
+objectives, so searches can be steered toward small/fast architectures
+explicitly rather than only through the timeout.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nas.arch import Architecture
+from .base import EvalResult, RewardModel
+
+__all__ = ["CompositeReward"]
+
+
+class CompositeReward(RewardModel):
+    """reward = accuracy − w_p·size_penalty − w_t·time_penalty.
+
+    Parameters
+    ----------
+    base:
+        The accuracy reward model (training or surrogate).
+    params_weight, params_target:
+        Penalty ``w_p · max(0, log10(P) − log10(target))`` applied above
+        ``params_target`` trainable parameters.
+    time_weight, time_target:
+        Same shape for the (modelled or measured) training duration in
+        seconds.
+    accuracy_floor:
+        Below this accuracy the size/time terms are ignored and the raw
+        accuracy is returned — "for a fixed accuracy" means size only
+        matters between architectures that already work.
+    """
+
+    def __init__(self, base: RewardModel,
+                 params_weight: float = 0.0, params_target: float = 1e6,
+                 time_weight: float = 0.0, time_target: float = 60.0,
+                 accuracy_floor: float = 0.0) -> None:
+        if params_weight < 0 or time_weight < 0:
+            raise ValueError("weights must be non-negative")
+        if params_target <= 0 or time_target <= 0:
+            raise ValueError("targets must be positive")
+        self.base = base
+        self.params_weight = params_weight
+        self.params_target = params_target
+        self.time_weight = time_weight
+        self.time_target = time_target
+        self.accuracy_floor = accuracy_floor
+
+    def evaluate(self, arch: Architecture, agent_seed: int = 0) -> EvalResult:
+        res = self.base.evaluate(arch, agent_seed)
+        if res.reward < self.accuracy_floor:
+            return res
+        penalty = 0.0
+        if self.params_weight and res.params > 0:
+            over = np.log10(res.params) - np.log10(self.params_target)
+            penalty += self.params_weight * max(0.0, over)
+        if self.time_weight and res.duration > 0:
+            over = np.log10(res.duration) - np.log10(self.time_target)
+            penalty += self.time_weight * max(0.0, over)
+        return EvalResult(float(res.reward - penalty), res.duration,
+                          res.params, res.timed_out)

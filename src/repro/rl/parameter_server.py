@@ -1,0 +1,126 @@
+"""Parameter server for multi-agent policy learning (§3.2, Fig. 2).
+
+Agents compute local PPO update directions and exchange them through a
+central parameter server:
+
+* **synchronous (A2C)** — the PS waits for all active agents' updates,
+  averages them, and releases every agent with the same averaged update.
+  All agents start from identical parameters and apply identical
+  averages, so their policies stay bit-identical — at the cost of a
+  barrier every iteration (the node-idling the paper blames for A2C's
+  slower learning and sawtooth utilization).
+* **asynchronous (A3C)** — the PS immediately averages the incoming
+  update with the most recently received ones (a bounded staleness
+  window) and returns; no agent ever waits for another.  Policies drift
+  apart but wall-clock progress is continuous.
+
+The server is simulation-aware: synchronous pushes return an event of
+the discrete-event kernel that fires when the barrier releases.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from ..hpc.sim import Event, Simulator
+
+__all__ = ["ParameterServer"]
+
+
+class ParameterServer:
+    def __init__(self, sim: Simulator, num_agents: int, mode: str = "async",
+                 staleness_window: int | None = None,
+                 latency: float = 0.1, service_time: float = 0.0) -> None:
+        if mode not in ("sync", "async"):
+            raise ValueError(f"mode must be 'sync' or 'async', got {mode!r}")
+        if num_agents <= 0:
+            raise ValueError("num_agents must be positive")
+        if service_time < 0:
+            raise ValueError("service_time must be non-negative")
+        self.sim = sim
+        self.mode = mode
+        self.num_agents = num_agents
+        self.active_agents = num_agents
+        self.latency = latency
+        self.service_time = service_time
+        self.num_rounds = 0
+        self.num_pushes = 0
+        # async state: recent updates (default window: half the agents,
+        # "a set of recently received gradients")
+        window = staleness_window or max(1, num_agents // 2)
+        self._recent: deque[np.ndarray] = deque(maxlen=window)
+        # sync state
+        self._pending: list[np.ndarray] = []
+        self._waiters: list[Event] = []
+        # timed-service state: the PS node handles one push at a time
+        self._busy_until = 0.0
+
+    # -- async (A3C) ------------------------------------------------------
+    def push_async(self, delta: np.ndarray) -> np.ndarray:
+        """Record an update; return the average of recent updates."""
+        if self.mode != "async":
+            raise RuntimeError("push_async on a synchronous server")
+        self.num_pushes += 1
+        self._recent.append(np.asarray(delta, dtype=np.float64))
+        return np.mean(self._recent, axis=0)
+
+    def push_async_timed(self, delta: np.ndarray) -> Event:
+        """Asynchronous push through a single-server queue.
+
+        The PS node handles one push at a time for ``service_time``
+        simulated seconds (proportional, in reality, to the parameter
+        vector it must average); the returned event fires with the
+        average once this push's service completes.  With many agents, a
+        single server queues — the §7 scalability bottleneck the sharded
+        server removes.
+        """
+        if self.mode != "async":
+            raise RuntimeError("push_async_timed on a synchronous server")
+        ev = self.sim.event()
+        start = max(self.sim.now, self._busy_until)
+        finish = start + self.service_time
+        self._busy_until = finish
+
+        def complete(_value) -> None:
+            ev.succeed(self.push_async(delta))
+
+        self.sim._schedule(finish - self.sim.now, complete, None)
+        return ev
+
+    @property
+    def queue_delay(self) -> float:
+        """Current backlog: how long a new push would wait before service."""
+        return max(0.0, self._busy_until - self.sim.now)
+
+    # -- sync (A2C) ---------------------------------------------------------
+    def push_sync(self, delta: np.ndarray) -> Event:
+        """Submit an update; the returned event fires with the round's
+        average once every active agent has pushed."""
+        if self.mode != "sync":
+            raise RuntimeError("push_sync on an asynchronous server")
+        self.num_pushes += 1
+        ev = self.sim.event()
+        self._pending.append(np.asarray(delta, dtype=np.float64))
+        self._waiters.append(ev)
+        self._maybe_release()
+        return ev
+
+    def deregister(self) -> None:
+        """An agent leaves (converged/stopped); shrink the barrier."""
+        self.active_agents -= 1
+        if self.active_agents < 0:
+            raise RuntimeError("more deregistrations than agents")
+        if self.mode == "sync":
+            self._maybe_release()
+
+    def _maybe_release(self) -> None:
+        if self._waiters and len(self._pending) >= max(1, self.active_agents):
+            avg = np.mean(self._pending, axis=0)
+            waiters, self._waiters = self._waiters, []
+            self._pending = []
+            self.num_rounds += 1
+            delay = self.latency
+            for ev in waiters:
+                self.sim._schedule(delay, lambda _v, e=ev: e.succeed(avg), None)

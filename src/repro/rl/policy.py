@@ -1,0 +1,210 @@
+"""LSTM controller: the agent's policy and value networks.
+
+Per §5, both the policy and value networks are a single-layer LSTM with
+32 units.  An architecture is generated token by token: at step *t* the
+network consumes an embedding of the previous action, updates its
+recurrent state, and emits masked logits over the *t*-th variable node's
+choices plus a scalar state-value estimate.  Variable nodes generally
+have different choice counts, so logits are computed at the maximum
+width and invalid actions are masked to (effectively) −∞.
+
+``forward_train``/``backward_train`` implement full backpropagation
+through time for the PPO surrogate; ``sample`` is the cheap no-grad
+rollout used to generate architectures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..nn.initializers import glorot_uniform
+from ..nn.recurrent import LSTMCell, LSTMStepCache
+from ..nn.tensor import Parameter
+
+__all__ = ["LSTMPolicy", "Rollout"]
+
+_NEG = -1e9  # mask value: exp(-1e9 - logZ) underflows to exactly 0.0
+
+
+@dataclass
+class Rollout:
+    """A batch of sampled action sequences with on-policy statistics."""
+
+    actions: np.ndarray     # (B, T) int
+    logprobs: np.ndarray    # (B, T)
+    values: np.ndarray      # (B, T)
+
+
+@dataclass
+class _StepCache:
+    lstm: LSTMStepCache
+    tokens: np.ndarray      # (B,) input token ids
+    h: np.ndarray           # (B, H)
+    logp_full: np.ndarray   # (B, A) log-probabilities (masked ~ -inf)
+    probs: np.ndarray       # (B, A)
+    actions: np.ndarray     # (B,)
+    entropy: np.ndarray     # (B,)
+
+
+class LSTMPolicy:
+    """Actor-critic controller over a fixed action-dimension sequence."""
+
+    def __init__(self, action_dims: list[int], hidden: int = 32,
+                 embed_dim: int = 16, seed: int = 0) -> None:
+        if not action_dims:
+            raise ValueError("need at least one action")
+        if any(d <= 0 for d in action_dims):
+            raise ValueError("action dims must be positive")
+        self.action_dims = list(action_dims)
+        self.horizon = len(action_dims)
+        self.max_dim = max(action_dims)
+        self.hidden = hidden
+        rng = np.random.default_rng(seed)
+        # token 0 = <start>, token 1+a = previous action a
+        self.embedding = Parameter(
+            rng.normal(0.0, 0.1, size=(1 + self.max_dim, embed_dim)),
+            "policy.embedding")
+        self.lstm = LSTMCell(embed_dim, hidden, rng, "policy.lstm")
+        self.w_pi = Parameter(glorot_uniform((hidden, self.max_dim), rng),
+                              "policy.w_pi")
+        self.b_pi = Parameter(np.zeros(self.max_dim), "policy.b_pi")
+        self.w_v = Parameter(glorot_uniform((hidden, 1), rng), "policy.w_v")
+        self.b_v = Parameter(np.zeros(1), "policy.b_v")
+        # per-step mask, built once
+        self._mask = np.full((self.horizon, self.max_dim), _NEG)
+        for t, d in enumerate(self.action_dims):
+            self._mask[t, :d] = 0.0
+
+    # -- parameter plumbing -------------------------------------------
+    def parameters(self) -> list[Parameter]:
+        return [self.embedding, *self.lstm.parameters(),
+                self.w_pi, self.b_pi, self.w_v, self.b_v]
+
+    @property
+    def num_params(self) -> int:
+        return sum(p.size for p in self.parameters())
+
+    def zero_grad(self) -> None:
+        for p in self.parameters():
+            p.zero_grad()
+
+    def get_flat(self) -> np.ndarray:
+        """All parameters as one vector (for parameter-server exchange)."""
+        return np.concatenate([p.value.ravel() for p in self.parameters()])
+
+    def set_flat(self, vec: np.ndarray) -> None:
+        offset = 0
+        for p in self.parameters():
+            n = p.size
+            p.value[...] = vec[offset:offset + n].reshape(p.value.shape)
+            offset += n
+        if offset != len(vec):
+            raise ValueError(f"expected {offset} entries, got {len(vec)}")
+
+    def add_flat(self, delta: np.ndarray) -> None:
+        self.set_flat(self.get_flat() + delta)
+
+    # -- forward passes -------------------------------------------------
+    def _step_distribution(self, t: int, tokens: np.ndarray,
+                           h: np.ndarray, c: np.ndarray):
+        x = self.embedding.value[tokens]
+        h, c, lstm_cache = self.lstm.step(x, h, c)
+        logits = h @ self.w_pi.value + self.b_pi.value + self._mask[t]
+        z = logits - logits.max(axis=-1, keepdims=True)
+        logz = np.log(np.exp(z).sum(axis=-1, keepdims=True))
+        logp_full = z - logz
+        probs = np.exp(logp_full)
+        value = (h @ self.w_v.value + self.b_v.value)[:, 0]
+        return h, c, lstm_cache, logp_full, probs, value
+
+    def sample(self, batch: int, rng: np.random.Generator) -> Rollout:
+        """Draw ``batch`` architectures from the current policy."""
+        h, c = self.lstm.initial_state(batch)
+        tokens = np.zeros(batch, dtype=np.intp)
+        actions = np.zeros((batch, self.horizon), dtype=np.intp)
+        logprobs = np.zeros((batch, self.horizon))
+        values = np.zeros((batch, self.horizon))
+        for t in range(self.horizon):
+            h, c, _, logp_full, probs, value = self._step_distribution(
+                t, tokens, h, c)
+            u = rng.random((batch, 1))
+            acts = (probs.cumsum(axis=-1) < u).sum(axis=-1)
+            acts = np.minimum(acts, self.action_dims[t] - 1)
+            actions[:, t] = acts
+            logprobs[:, t] = logp_full[np.arange(batch), acts]
+            values[:, t] = value
+            tokens = acts + 1
+        return Rollout(actions, logprobs, values)
+
+    def greedy(self) -> np.ndarray:
+        """The argmax action sequence (one architecture)."""
+        h, c = self.lstm.initial_state(1)
+        tokens = np.zeros(1, dtype=np.intp)
+        actions = np.zeros(self.horizon, dtype=np.intp)
+        for t in range(self.horizon):
+            h, c, _, logp_full, _, _ = self._step_distribution(t, tokens, h, c)
+            actions[t] = int(logp_full[0].argmax())
+            tokens = actions[t:t + 1] + 1
+        return actions
+
+    def forward_train(self, actions: np.ndarray
+                      ) -> tuple[np.ndarray, np.ndarray, np.ndarray,
+                                 list[_StepCache]]:
+        """Recompute (logprobs, values, entropies) for given actions,
+        caching everything ``backward_train`` needs."""
+        actions = np.asarray(actions, dtype=np.intp)
+        batch, horizon = actions.shape
+        if horizon != self.horizon:
+            raise ValueError(f"expected horizon {self.horizon}, got {horizon}")
+        h, c = self.lstm.initial_state(batch)
+        tokens = np.zeros(batch, dtype=np.intp)
+        logprobs = np.zeros((batch, horizon))
+        values = np.zeros((batch, horizon))
+        entropies = np.zeros((batch, horizon))
+        caches: list[_StepCache] = []
+        for t in range(horizon):
+            h, c, lstm_cache, logp_full, probs, value = \
+                self._step_distribution(t, tokens, h, c)
+            acts = actions[:, t]
+            logprobs[:, t] = logp_full[np.arange(batch), acts]
+            values[:, t] = value
+            with np.errstate(invalid="ignore"):
+                plogp = np.where(probs > 0, probs * logp_full, 0.0)
+            entropy = -plogp.sum(axis=-1)
+            entropies[:, t] = entropy
+            caches.append(_StepCache(lstm_cache, tokens.copy(), h, logp_full,
+                                     probs, acts, entropy))
+            tokens = acts + 1
+        return logprobs, values, entropies, caches
+
+    def backward_train(self, caches: list[_StepCache], d_logp: np.ndarray,
+                       d_value: np.ndarray, d_entropy: np.ndarray) -> None:
+        """Accumulate parameter gradients for a scalar objective with the
+        given partials w.r.t. per-step logprob/value/entropy."""
+        batch = caches[0].tokens.shape[0]
+        dh_next = np.zeros((batch, self.hidden))
+        dc_next = np.zeros((batch, self.hidden))
+        idx = np.arange(batch)
+        for t in reversed(range(len(caches))):
+            cache = caches[t]
+            probs, logp_full = cache.probs, cache.logp_full
+            onehot = np.zeros_like(probs)
+            onehot[idx, cache.actions] = 1.0
+            dlogits = d_logp[:, t, None] * (onehot - probs)
+            # dH/dlogits_j = -p_j (log p_j + H)
+            with np.errstate(invalid="ignore"):
+                ent_term = np.where(probs > 0,
+                                    -probs * (logp_full + cache.entropy[:, None]),
+                                    0.0)
+            dlogits += d_entropy[:, t, None] * ent_term
+            self.w_pi.grad += cache.h.T @ dlogits
+            self.b_pi.grad += dlogits.sum(axis=0)
+            dv = d_value[:, t][:, None]
+            self.w_v.grad += cache.h.T @ dv
+            self.b_v.grad += dv.sum(axis=0)
+            dh = dlogits @ self.w_pi.value.T + dv @ self.w_v.value.T + dh_next
+            dx, dh_next, dc_next = self.lstm.backward_step(dh, dc_next,
+                                                           cache.lstm)
+            np.add.at(self.embedding.grad, cache.tokens, dx)

@@ -1,0 +1,156 @@
+"""Proximal policy optimization (§3.2, Eq. 2).
+
+Each search iteration, an agent samples M architectures, receives their
+rewards, and performs a PPO update: the clipped surrogate
+
+    J(θ) = E[min(r(θ)·Â, clip(r(θ), 1−ε, 1+ε)·Â)]
+
+with r(θ) the new/old action-probability ratio, plus a value-function
+loss and an entropy bonus, optimized for ``epochs`` passes with Adam —
+the paper uses epochs=4, clip=0.2, lr=0.001.
+
+An architecture evaluation yields a single terminal reward; every token
+step of that episode receives the episode return, and the advantage at
+step *t* is ``R − V(s_t)`` with V from the critic at sampling time
+(actor-critic baseline, §3.2).  Advantages are normalized across the
+batch, as in OpenAI Baselines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..nn.optimizers import Adam, clip_global_norm
+from .policy import LSTMPolicy, Rollout
+
+__all__ = ["PPOConfig", "PPOStats", "PPOUpdater"]
+
+
+@dataclass(frozen=True)
+class PPOConfig:
+    clip: float = 0.2
+    epochs: int = 4
+    lr: float = 1e-3
+    value_coef: float = 0.5
+    entropy_coef: float = 0.01
+    max_grad_norm: float = 0.5
+    normalize_advantages: bool = True
+    #: discount and GAE(λ) over the token sequence.  An architecture
+    #: episode has a single terminal reward; with the defaults γ=λ=1 the
+    #: advantage reduces exactly to R − V(s_t) (the paper's actor-critic
+    #: baseline).  Lower values trade bias for variance in credit
+    #: assignment across the decision sequence.
+    gamma: float = 1.0
+    gae_lambda: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.clip < 1.0:
+            raise ValueError("clip must be in (0, 1)")
+        if self.epochs <= 0:
+            raise ValueError("epochs must be positive")
+        if not 0.0 < self.gamma <= 1.0 or not 0.0 < self.gae_lambda <= 1.0:
+            raise ValueError("gamma and gae_lambda must be in (0, 1]")
+
+
+@dataclass
+class PPOStats:
+    policy_loss: float
+    value_loss: float
+    entropy: float
+    clip_fraction: float
+    grad_norm: float
+
+
+class PPOUpdater:
+    """Applies PPO updates to one agent's policy."""
+
+    def __init__(self, policy: LSTMPolicy, config: PPOConfig | None = None
+                 ) -> None:
+        self.policy = policy
+        self.config = config or PPOConfig()
+        self.optimizer = Adam(policy.parameters(), lr=self.config.lr)
+
+    def update(self, rollout: Rollout, rewards: np.ndarray) -> PPOStats:
+        """One PPO update from a rollout and its episode rewards.
+
+        ``rewards`` has one entry per rollout row (terminal reward of the
+        generated architecture).
+        """
+        cfg = self.config
+        rewards = np.asarray(rewards, dtype=np.float64)
+        if rewards.shape != (rollout.actions.shape[0],):
+            raise ValueError(
+                f"expected {rollout.actions.shape[0]} rewards, got "
+                f"{rewards.shape}")
+        advantages = self._gae(rewards, rollout.values)
+        returns = advantages + rollout.values  # value-function targets
+        if cfg.normalize_advantages:
+            std = advantages.std()
+            advantages = (advantages - advantages.mean()) / (std + 1e-8)
+
+        old_logp = rollout.logprobs
+        n = old_logp.size
+        stats = PPOStats(0.0, 0.0, 0.0, 0.0, 0.0)
+        for _ in range(cfg.epochs):
+            logp, values, entropies, caches = self.policy.forward_train(
+                rollout.actions)
+            ratio = np.exp(logp - old_logp)
+            clipped = np.clip(ratio, 1.0 - cfg.clip, 1.0 + cfg.clip)
+            surr1 = ratio * advantages
+            surr2 = clipped * advantages
+            use1 = surr1 <= surr2  # min picks the smaller surrogate
+            policy_loss = -np.minimum(surr1, surr2).mean()
+            value_err = values - returns
+            value_loss = 0.5 * np.mean(value_err ** 2)
+            entropy = entropies.mean()
+
+            # gradients of L = policy_loss + c_v*value_loss - c_e*entropy
+            d_logp = np.where(use1, -ratio * advantages / n, 0.0)
+            d_value = cfg.value_coef * value_err / n
+            d_entropy = np.full_like(logp, -cfg.entropy_coef / n)
+
+            self.policy.zero_grad()
+            self.policy.backward_train(caches, d_logp, d_value, d_entropy)
+            grad_norm = clip_global_norm(
+                [p.grad for p in self.policy.parameters()],
+                cfg.max_grad_norm)
+            self.optimizer.step()
+
+            stats = PPOStats(float(policy_loss), float(value_loss),
+                             float(entropy),
+                             float(np.mean(ratio != clipped)),
+                             float(grad_norm))
+        return stats
+
+    def _gae(self, rewards: np.ndarray, values: np.ndarray) -> np.ndarray:
+        """Generalized advantage estimation over token sequences whose
+        only nonzero reward is terminal.  With γ=λ=1 this is exactly
+        ``R − V_t`` for every step."""
+        gamma, lam = self.config.gamma, self.config.gae_lambda
+        batch, horizon = values.shape
+        advantages = np.zeros_like(values)
+        gae = np.zeros(batch)
+        for t in reversed(range(horizon)):
+            r_t = rewards if t == horizon - 1 else 0.0
+            v_next = values[:, t + 1] if t + 1 < horizon else 0.0
+            delta = r_t + gamma * v_next - values[:, t]
+            gae = delta + gamma * lam * gae
+            advantages[:, t] = gae
+        return advantages
+
+    def update_delta(self, rollout: Rollout, rewards: np.ndarray
+                     ) -> tuple[np.ndarray, PPOStats]:
+        """PPO update returning the parameter delta it produced.
+
+        This is the quantity agents exchange through the parameter
+        server: the paper's agents send their PPO gradient estimates to
+        the PS and apply the returned average; with multi-epoch PPO the
+        natural gradient-estimate analogue is the local update direction
+        Δθ = θ_after − θ_before.
+        """
+        before = self.policy.get_flat()
+        stats = self.update(rollout, rewards)
+        after = self.policy.get_flat()
+        return after - before, stats

@@ -1,0 +1,102 @@
+"""Sharded (multi-)parameter server (§7 future work).
+
+The paper's single parameter server is a scalability bottleneck at high
+agent counts: every agent's update serializes through one service.  §7
+proposes "developing multiparameter servers to improve scalability".
+
+:class:`ShardedParameterServer` splits the flat parameter vector into
+``num_shards`` contiguous shards, each served by an independent
+asynchronous server with its own latency and staleness window.  An agent
+pushes its update to all shards; shard responses are concatenated.
+Because the shards operate independently, their effective latency under
+contention is that of one shard rather than the whole vector — the DES
+bench `bench_ablations` quantifies the end-to-end effect.
+
+Only the asynchronous (A3C) mode is sharded; the synchronous barrier
+already serializes on the slowest agent, not the server.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..hpc.sim import AllOf, Event, Simulator
+from .parameter_server import ParameterServer
+
+__all__ = ["ShardedParameterServer"]
+
+
+class ShardedParameterServer:
+    """A3C-mode parameter exchange over ``num_shards`` servers.
+
+    ``service_time`` is the time ONE server would need for a whole
+    vector; each shard serves its slice in ``service_time/num_shards``,
+    and shards queue independently — k servers give k× exchange capacity.
+    """
+
+    mode = "async"
+
+    def __init__(self, sim: Simulator, num_agents: int, vector_size: int,
+                 num_shards: int = 2, staleness_window: int | None = None,
+                 service_time: float = 0.0) -> None:
+        if num_shards <= 0:
+            raise ValueError("num_shards must be positive")
+        if vector_size < num_shards:
+            raise ValueError("vector_size must be >= num_shards")
+        self.sim = sim
+        self.num_agents = num_agents
+        self.vector_size = vector_size
+        self.service_time = service_time
+        # contiguous, near-equal shard boundaries
+        self.boundaries = np.linspace(0, vector_size, num_shards + 1,
+                                      dtype=int)
+        self.shards = [
+            ParameterServer(sim, num_agents, mode="async",
+                            staleness_window=staleness_window,
+                            service_time=service_time / num_shards)
+            for _ in range(num_shards)]
+        self.num_pushes = 0
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.shards)
+
+    def _split(self, delta: np.ndarray) -> list[np.ndarray]:
+        delta = np.asarray(delta, dtype=np.float64)
+        if delta.shape != (self.vector_size,):
+            raise ValueError(
+                f"expected vector of size {self.vector_size}, got "
+                f"{delta.shape}")
+        return [delta[lo:hi] for lo, hi in
+                zip(self.boundaries[:-1], self.boundaries[1:])]
+
+    def push_async(self, delta: np.ndarray) -> np.ndarray:
+        """Zero-cost push to every shard; concatenated shard averages."""
+        self.num_pushes += 1
+        return np.concatenate([
+            shard.push_async(part)
+            for shard, part in zip(self.shards, self._split(delta))])
+
+    def push_async_timed(self, delta: np.ndarray) -> Event:
+        """Timed push: shards serve their slices in parallel; the event
+        fires with the concatenated average when the slowest finishes."""
+        self.num_pushes += 1
+        shard_events = [shard.push_async_timed(part)
+                        for shard, part in
+                        zip(self.shards, self._split(delta))]
+        done = self.sim.event()
+
+        def combine():
+            parts = yield AllOf(shard_events)
+            done.succeed(np.concatenate(parts))
+
+        self.sim.process(combine(), name="sharded-ps")
+        return done
+
+    @property
+    def queue_delay(self) -> float:
+        return max(shard.queue_delay for shard in self.shards)
+
+    def deregister(self) -> None:
+        for shard in self.shards:
+            shard.deregister()

@@ -1,0 +1,23 @@
+"""Parallel NAS search strategies: A3C, A2C and random search (RDM)."""
+
+from ..hpc.cluster import NodeAllocation
+from .base import RewardRecord, SearchConfig, SearchResult
+from .evolution import EvolutionConfig, EvolutionSearch, run_evolution
+from .runner import NasSearch, run_search
+
+__all__ = ['EvolutionConfig', 'EvolutionSearch', 'NasSearch', 'NodeAllocation', 'RewardRecord', 'SearchConfig', 'SearchResult', 'run_evolution', 'run_search']
+
+
+def a3c_config(**kwargs) -> SearchConfig:
+    """Asynchronous advantage actor-critic configuration."""
+    return SearchConfig(method="a3c", **kwargs)
+
+
+def a2c_config(**kwargs) -> SearchConfig:
+    """Synchronous advantage actor-critic configuration."""
+    return SearchConfig(method="a2c", **kwargs)
+
+
+def rdm_config(**kwargs) -> SearchConfig:
+    """Random-search baseline configuration."""
+    return SearchConfig(method="rdm", **kwargs)

@@ -1,0 +1,126 @@
+"""Search run configuration and result containers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..hpc.cluster import Cluster, NodeAllocation
+from ..nas.arch import Architecture
+
+__all__ = ["SearchConfig", "RewardRecord", "SearchResult"]
+
+
+@dataclass(frozen=True)
+class SearchConfig:
+    """Configuration of one NAS run.
+
+    Defaults mirror the paper's reference setup: 256 nodes split into 21
+    agents × 11 workers, 360 minutes of wall time, M = workers-per-agent
+    architectures per agent iteration, LSTM(32) controller, PPO with
+    epochs=4 / clip=0.2 / lr=0.001.
+    """
+
+    method: str = "a3c"                   # "a3c" | "a2c" | "rdm"
+    allocation: NodeAllocation = field(
+        default_factory=NodeAllocation.paper_256)
+    wall_time: float = 360.0 * 60.0       # seconds of (virtual) wall clock
+    hidden: int = 32
+    embed_dim: int = 16
+    ppo_epochs: int = 4
+    ppo_clip: float = 0.2
+    #: controller learning rate.  The paper trains the LSTM with
+    #: lr=0.001 under TensorFlow's loss scaling; with this numpy PPO the
+    #: equivalent per-round movement calibrates to 4e-3 (see
+    #: EXPERIMENTS.md, calibration note).
+    lr: float = 6e-3
+    entropy_coef: float = 0.002
+    seed: int = 0
+    #: identical policy init across agents (§3.2: "all N agents start
+    #: with the same policy network")
+    shared_policy_init: bool = True
+    #: consecutive all-cache-hit iterations (per agent) before an agent
+    #: declares convergence; the search stops when all agents have
+    #: (§5.1: the search "could not proceed in a meaningful way")
+    convergence_patience: int = 3
+    #: agent-local evaluation cache (§4); disable for ablations
+    use_cache: bool = True
+    #: A3C parameter-server staleness window (None = num_agents // 2,
+    #: "a set of recently received gradients")
+    staleness_window: int | None = None
+    #: simulated seconds the parameter server needs to process one full
+    #: update vector (0 = free exchange); makes PS contention visible
+    ps_service_time: float = 0.0
+    #: shard the A3C parameter server across this many independent
+    #: servers (§7's "multiparameter servers"); each serves its slice in
+    #: ps_service_time / ps_shards
+    ps_shards: int = 1
+
+    def __post_init__(self) -> None:
+        if self.method not in ("a3c", "a2c", "rdm"):
+            raise ValueError(f"unknown method {self.method!r}")
+        if self.wall_time <= 0:
+            raise ValueError("wall_time must be positive")
+
+
+@dataclass(frozen=True)
+class RewardRecord:
+    """One reward estimation, as logged for the analytics module."""
+
+    time: float              # virtual seconds at completion
+    agent_id: int
+    arch: Architecture
+    reward: float
+    params: int
+    duration: float
+    cached: bool
+    timed_out: bool
+
+
+@dataclass
+class SearchResult:
+    """Everything a finished search run produced."""
+
+    config: SearchConfig
+    records: list[RewardRecord]
+    cluster: Cluster
+    end_time: float                  # virtual seconds when the run stopped
+    converged: bool                  # stopped early on full-cache convergence
+    unique_architectures: int
+
+    @property
+    def num_evaluations(self) -> int:
+        return len(self.records)
+
+    def best(self) -> RewardRecord:
+        if not self.records:
+            raise ValueError("no evaluations recorded")
+        return max(self.records, key=lambda r: r.reward)
+
+    def top_k(self, k: int = 50) -> list[RewardRecord]:
+        """Best-reward record per distinct architecture, best first (the
+        paper selects the top 50 for post-training)."""
+        best_by_arch: dict[tuple, RewardRecord] = {}
+        for rec in self.records:
+            cur = best_by_arch.get(rec.arch.key)
+            if cur is None or rec.reward > cur.reward:
+                best_by_arch[rec.arch.key] = rec
+        ranked = sorted(best_by_arch.values(), key=lambda r: -r.reward)
+        return ranked[:k]
+
+    def reward_trajectory(self) -> np.ndarray:
+        """(time_minutes, best_reward_so_far) rows, one per evaluation."""
+        out = np.zeros((len(self.records), 2))
+        best = -np.inf
+        for i, rec in enumerate(sorted(self.records, key=lambda r: r.time)):
+            best = max(best, rec.reward)
+            out[i] = (rec.time / 60.0, best)
+        return out
+
+    def utilization_trace(self, bin_minutes: float = 5.0
+                          ) -> list[tuple[float, float]]:
+        """(minutes, utilization) bins over the run."""
+        trace = self.cluster.utilization_trace(
+            max(self.end_time, 1e-9), bin_minutes * 60.0)
+        return [(t / 60.0, u) for t, u in trace]

@@ -1,0 +1,187 @@
+"""Multi-agent NAS runner over the simulated cluster (§3.2, Fig. 2/3).
+
+Each agent is a coroutine process of the discrete-event kernel:
+
+    loop until wall-clock limit or convergence:
+      1. sample M architectures from the agent's LSTM policy
+         (RDM: uniform random actions)
+      2. submit them through the agent's Balsam evaluator and wait for
+         the batch (per-agent batch synchronization, §5.1)
+      3. compute the PPO update; exchange it through the parameter
+         server (A2C: synchronous barrier; A3C: asynchronous average of
+         recent updates) and apply the returned average
+      4. log reward records; stop when ``convergence_patience``
+         consecutive batches were pure cache hits
+
+The search stops when every agent has stopped, or at the wall-time
+limit, whichever is first — matching the paper's runs, where A3C on
+Combo/NT3 ended early "because all the agents generate the same
+architecture for which the agent-specific cache returns the same
+reward".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..evaluator.balsam import BalsamEvaluator, BalsamService
+from ..hpc.cluster import Cluster
+from ..hpc.sim import Simulator, Timeout
+from ..nas.space import Structure
+from ..rewards.base import RewardModel
+from ..rl.parameter_server import ParameterServer
+from ..rl.policy import LSTMPolicy
+from ..rl.sharded_ps import ShardedParameterServer
+from ..rl.ppo import PPOConfig, PPOUpdater
+from .base import RewardRecord, SearchConfig, SearchResult
+
+__all__ = ["NasSearch", "run_search"]
+
+
+class NasSearch:
+    """Binds a search space + reward model to a :class:`SearchConfig`."""
+
+    def __init__(self, space: Structure, reward_model: RewardModel,
+                 config: SearchConfig | None = None) -> None:
+        self.space = space
+        self.reward_model = reward_model
+        self.config = config or SearchConfig()
+
+        self.sim = Simulator()
+        alloc = self.config.allocation
+        self.cluster = Cluster(self.sim, alloc.worker_nodes)
+        self.service = BalsamService(self.sim, self.cluster)
+        self.records: list[RewardRecord] = []
+        self._converged_agents = 0
+
+        n = alloc.num_agents
+        dims = space.action_dims
+        if self.config.method == "a2c":
+            self.ps: ParameterServer | ShardedParameterServer | None = \
+                ParameterServer(self.sim, n, mode="sync",
+                                staleness_window=self.config.staleness_window)
+        elif self.config.method == "a3c":
+            if self.config.ps_shards > 1:
+                probe = LSTMPolicy(dims, hidden=self.config.hidden,
+                                   embed_dim=self.config.embed_dim, seed=0)
+                self.ps = ShardedParameterServer(
+                    self.sim, n, vector_size=probe.num_params,
+                    num_shards=self.config.ps_shards,
+                    staleness_window=self.config.staleness_window,
+                    service_time=self.config.ps_service_time)
+            else:
+                self.ps = ParameterServer(
+                    self.sim, n, mode="async",
+                    staleness_window=self.config.staleness_window,
+                    service_time=self.config.ps_service_time)
+        else:
+            self.ps = None
+
+        self.policies: list[LSTMPolicy | None] = []
+        self.updaters: list[PPOUpdater | None] = []
+        self.evaluators: list[BalsamEvaluator] = []
+        for agent_id in range(n):
+            self.evaluators.append(BalsamEvaluator(
+                self.service, reward_model, agent_id,
+                use_cache=self.config.use_cache))
+            if self.config.method == "rdm":
+                self.policies.append(None)
+                self.updaters.append(None)
+            else:
+                init_seed = (self.config.seed if self.config.shared_policy_init
+                             else self.config.seed * 10_000 + agent_id)
+                policy = LSTMPolicy(dims, hidden=self.config.hidden,
+                                    embed_dim=self.config.embed_dim,
+                                    seed=init_seed)
+                self.policies.append(policy)
+                self.updaters.append(PPOUpdater(policy, PPOConfig(
+                    clip=self.config.ppo_clip, epochs=self.config.ppo_epochs,
+                    lr=self.config.lr,
+                    entropy_coef=self.config.entropy_coef)))
+
+    # ------------------------------------------------------------------
+    def run(self) -> SearchResult:
+        cfg = self.config
+        for agent_id in range(cfg.allocation.num_agents):
+            self.sim.process(self._agent(agent_id), name=f"agent{agent_id}")
+        self.sim.run(until=cfg.wall_time)
+        end_time = min(self.sim.now, cfg.wall_time)
+        converged = (self._converged_agents == cfg.allocation.num_agents
+                     and end_time < cfg.wall_time)
+        unique = len({rec.arch.key for rec in self.records})
+        return SearchResult(cfg, self.records, self.cluster, end_time,
+                            converged, unique)
+
+    # ------------------------------------------------------------------
+    def _agent(self, agent_id: int):
+        cfg = self.config
+        sim = self.sim
+        evaluator = self.evaluators[agent_id]
+        policy = self.policies[agent_id]
+        updater = self.updaters[agent_id]
+        batch = cfg.allocation.workers_per_agent
+        rng = np.random.default_rng((cfg.seed, agent_id, 0xA6E))
+        dims = np.array(self.space.action_dims)
+        consecutive_cached = 0
+        converged = False
+
+        # stagger startup slightly so same-instant submissions don't all
+        # carry identical timestamps (and to model ramp-up)
+        yield Timeout(rng.uniform(0.0, 2.0))
+
+        while sim.now < cfg.wall_time:
+            if policy is None:  # RDM
+                actions = rng.integers(0, dims, size=(batch, len(dims)))
+                rollout = None
+            else:
+                rollout = policy.sample(batch, rng)
+                actions = rollout.actions
+            archs = [self.space.decode(row) for row in actions]
+
+            batch_done = evaluator.add_eval_batch(archs)
+            yield batch_done
+            recs = evaluator.get_finished_evals()
+
+            # align rewards with the rollout's row order
+            by_key: dict[tuple, list] = {}
+            for rec in recs:
+                by_key.setdefault(rec.arch.key, []).append(rec)
+            rewards = np.empty(len(archs))
+            for i, arch in enumerate(archs):
+                rec = by_key[arch.key].pop(0)
+                rewards[i] = rec.reward
+                self.records.append(RewardRecord(
+                    rec.end_time, agent_id, rec.arch, rec.reward,
+                    rec.result.params, rec.result.duration, rec.cached,
+                    rec.result.timed_out))
+
+            if updater is not None:
+                delta, _ = updater.update_delta(rollout, rewards)
+                if self.ps.mode == "sync":
+                    avg = yield self.ps.push_sync(delta)
+                elif cfg.ps_service_time > 0.0:
+                    avg = yield self.ps.push_async_timed(delta)
+                else:
+                    avg = self.ps.push_async(delta)
+                # update_delta already applied the local delta; replace it
+                # with the parameter server's average
+                policy.add_flat(avg - delta)
+
+            if evaluator.last_batch_all_cached:
+                consecutive_cached += 1
+            else:
+                consecutive_cached = 0
+            if consecutive_cached >= cfg.convergence_patience:
+                converged = True
+                break
+
+        if self.ps is not None:
+            self.ps.deregister()
+        if converged:
+            self._converged_agents += 1
+
+
+def run_search(space: Structure, reward_model: RewardModel,
+               config: SearchConfig | None = None) -> SearchResult:
+    """Convenience one-call search run."""
+    return NasSearch(space, reward_model, config).run()

@@ -1,0 +1,29 @@
+"""Shared fixtures: seeded RNG and cached small problems."""
+
+import numpy as np
+import pytest
+
+from repro.problems import combo_problem, nt3_problem, uno_problem
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def small_combo():
+    return combo_problem(n_train=160, n_val=64, cell_dim=20, drug_dim=24,
+                         scale=0.02)
+
+
+@pytest.fixture(scope="session")
+def small_uno():
+    return uno_problem(n_train=256, n_val=96, rna_dim=20, desc_dim=24,
+                       fp_dim=12, scale=0.04)
+
+
+@pytest.fixture(scope="session")
+def small_nt3():
+    return nt3_problem(n_train=120, n_val=48, length=100, scale=0.05,
+                       baseline_filters=4)

@@ -1,0 +1,81 @@
+"""Unit tests for search-log persistence."""
+
+import json
+
+import pytest
+
+from repro.analytics.io import (load_records, save_records,
+                                save_result_summary)
+from repro.nas.arch import Architecture
+from repro.search.base import RewardRecord
+
+
+def R(t, reward, arch_id=0, cached=False):
+    return RewardRecord(time=t, agent_id=0,
+                        arch=Architecture("s", (arch_id, 1)), reward=reward,
+                        params=123, duration=4.5, cached=cached,
+                        timed_out=False)
+
+
+class TestRecordsRoundtrip:
+    def test_roundtrip(self, tmp_path):
+        records = [R(1.0, 0.5), R(2.0, -0.3, arch_id=2, cached=True)]
+        path = tmp_path / "log.jsonl"
+        save_records(records, path, metadata={"problem": "combo"})
+        loaded, meta = load_records(path)
+        assert loaded == records
+        assert meta == {"problem": "combo"}
+
+    def test_empty_log(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        save_records([], path)
+        loaded, meta = load_records(path)
+        assert loaded == [] and meta == {}
+
+    def test_rejects_foreign_file(self, tmp_path):
+        path = tmp_path / "other.jsonl"
+        path.write_text('{"hello": 1}\n')
+        with pytest.raises(ValueError):
+            load_records(path)
+
+    def test_rejects_truncated(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        save_records([R(1.0, 0.5), R(2.0, 0.6, arch_id=1)], path)
+        lines = path.read_text().splitlines()
+        path.write_text("\n".join(lines[:-1]) + "\n")
+        with pytest.raises(ValueError):
+            load_records(path)
+
+    def test_rejects_wrong_version(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        save_records([], path)
+        header = json.loads(path.read_text().splitlines()[0])
+        header["version"] = 99
+        path.write_text(json.dumps(header) + "\n")
+        with pytest.raises(ValueError):
+            load_records(path)
+
+
+class TestSummary:
+    def test_summary_fields(self, tmp_path):
+        from repro.hpc import NodeAllocation, TrainingCostModel
+        from repro.nas.spaces import combo_small
+        from repro.problems.combo import COMBO_PAPER_SHAPES, combo_head
+        from repro.rewards import SurrogateReward
+        from repro.search import SearchConfig, run_search
+
+        space = combo_small()
+        rm = SurrogateReward(space, COMBO_PAPER_SHAPES, combo_head(),
+                             TrainingCostModel.combo_paper(),
+                             train_fraction=0.1, timeout=600.0, seed=1)
+        cfg = SearchConfig(method="rdm", allocation=NodeAllocation(16, 2, 2),
+                           wall_time=30 * 60, seed=1)
+        result = run_search(space, rm, cfg)
+        path = tmp_path / "summary.json"
+        save_result_summary(result, path)
+        summary = json.loads(path.read_text())
+        assert summary["method"] == "rdm"
+        assert summary["num_evaluations"] == result.num_evaluations
+        assert summary["best"]["reward"] == result.best().reward
+        assert len(summary["top"]) <= 50
+        assert all(0.0 <= u <= 1.0 for _, u in summary["utilization"])

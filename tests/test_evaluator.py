@@ -1,0 +1,177 @@
+"""Unit tests for the evaluator API, cache, and Balsam backend."""
+
+import numpy as np
+import pytest
+
+from repro.evaluator import (BalsamEvaluator, BalsamService, EvalCache,
+                             SerialEvaluator)
+from repro.hpc.cluster import Cluster
+from repro.hpc.sim import Simulator, Timeout
+from repro.nas.arch import Architecture
+from repro.rewards.base import EvalResult, RewardModel
+
+
+class StubReward(RewardModel):
+    """Deterministic reward: sum of choices; duration = 10 + first choice."""
+
+    def __init__(self):
+        self.calls = 0
+
+    def evaluate(self, arch, agent_seed=0):
+        self.calls += 1
+        return EvalResult(reward=float(sum(arch.choices)) + agent_seed * 100,
+                          duration=10.0 + arch.choices[0],
+                          params=1000 * (1 + arch.choices[0]))
+
+
+def A(*choices):
+    return Architecture("stub", tuple(choices))
+
+
+class TestEvalCache:
+    def test_miss_then_hit(self):
+        cache = EvalCache()
+        assert cache.get(A(1)) is None
+        cache.put(A(1), EvalResult(0.5, 1.0, 10))
+        assert cache.get(A(1)).reward == 0.5
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_contains_and_len(self):
+        cache = EvalCache()
+        cache.put(A(1), EvalResult(0.5, 1.0, 10))
+        assert A(1) in cache and A(2) not in cache
+        assert len(cache) == 1 == cache.unique_architectures
+
+    def test_distinct_spaces_distinct_keys(self):
+        cache = EvalCache()
+        cache.put(Architecture("s1", (1,)), EvalResult(0.1, 1.0, 1))
+        assert cache.get(Architecture("s2", (1,))) is None
+
+
+class TestSerialEvaluator:
+    def test_evaluates_and_drains(self):
+        ev = SerialEvaluator(StubReward())
+        ev.add_eval_batch([A(1, 2), A(3, 4)])
+        recs = ev.get_finished_evals()
+        assert [r.reward for r in recs] == [3.0, 7.0]
+        assert ev.get_finished_evals() == []
+
+    def test_cache_prevents_reevaluation(self):
+        rm = StubReward()
+        ev = SerialEvaluator(rm)
+        ev.add_eval_batch([A(1, 2)])
+        ev.add_eval_batch([A(1, 2)])
+        recs = ev.get_finished_evals()
+        assert rm.calls == 1
+        assert recs[1].cached and not recs[0].cached
+        assert ev.num_cache_hits == 1
+
+    def test_cache_disabled(self):
+        rm = StubReward()
+        ev = SerialEvaluator(rm, use_cache=False)
+        ev.add_eval_batch([A(1, 2)])
+        ev.add_eval_batch([A(1, 2)])
+        assert rm.calls == 2
+
+    def test_agent_seed_passed(self):
+        ev = SerialEvaluator(StubReward(), agent_id=3)
+        ev.add_eval_batch([A(1, 1)])
+        assert ev.get_finished_evals()[0].reward == 302.0
+
+
+class TestBalsamService:
+    def _setup(self, nodes=2):
+        sim = Simulator()
+        cluster = Cluster(sim, nodes)
+        service = BalsamService(sim, cluster, submit_latency=1.0)
+        return sim, cluster, service
+
+    def test_job_lifecycle(self):
+        sim, cluster, service = self._setup()
+        job = service.submit(0, A(1), EvalResult(0.5, 10.0, 100))
+        assert job.state == "CREATED"
+        sim.run()
+        assert job.state == "FINISHED"
+        assert job.start_time == 1.0        # submit latency
+        assert job.end_time == 11.0
+        assert service.num_finished == 1
+
+    def test_jobs_queue_on_busy_cluster(self):
+        sim, cluster, service = self._setup(nodes=1)
+        j1 = service.submit(0, A(1), EvalResult(0.1, 10.0, 1))
+        j2 = service.submit(0, A(2), EvalResult(0.2, 10.0, 1))
+        sim.run()
+        assert j1.end_time == 11.0
+        assert j2.start_time == 11.0 and j2.end_time == 21.0
+
+    def test_utilization_reflects_jobs(self):
+        sim, cluster, service = self._setup(nodes=2)
+        service.submit(0, A(1), EvalResult(0.1, 10.0, 1))
+        service.submit(0, A(2), EvalResult(0.2, 10.0, 1))
+        sim.run()
+        # both nodes busy from t=1 to t=11
+        u = cluster.mean_utilization(11.0)
+        assert u == pytest.approx(10.0 / 11.0)
+
+
+class TestBalsamEvaluator:
+    def _setup(self, nodes=4):
+        sim = Simulator()
+        cluster = Cluster(sim, nodes)
+        service = BalsamService(sim, cluster, submit_latency=0.0)
+        return sim, BalsamEvaluator(service, StubReward(), agent_id=0)
+
+    def test_batch_event_fires_when_all_done(self):
+        sim, ev = self._setup()
+        done_at = []
+
+        def agent():
+            batch = ev.add_eval_batch([A(0, 0), A(5, 0)])
+            yield batch
+            done_at.append(sim.now)
+
+        sim.process(agent())
+        sim.run()
+        # durations 10 and 15: the barrier is the slower one
+        assert done_at == [15.0]
+        recs = ev.get_finished_evals()
+        assert sorted(r.reward for r in recs) == [0.0, 5.0]
+
+    def test_cached_batch_completes_instantly(self):
+        sim, ev = self._setup()
+        times = []
+
+        def agent():
+            yield ev.add_eval_batch([A(1, 1)])
+            ev.get_finished_evals()
+            t0 = sim.now
+            yield ev.add_eval_batch([A(1, 1)])
+            times.append(sim.now - t0)
+            assert ev.last_batch_all_cached
+
+        sim.process(agent())
+        sim.run()
+        assert times == [0.0]
+
+    def test_duplicates_within_batch_counted(self):
+        sim, ev = self._setup()
+
+        def agent():
+            yield ev.add_eval_batch([A(2, 2), A(2, 2)])
+
+        sim.process(agent())
+        sim.run()
+        recs = ev.get_finished_evals()
+        assert len(recs) == 2  # one real eval + (potentially) one duplicate
+
+    def test_mixed_batch_not_all_cached(self):
+        sim, ev = self._setup()
+
+        def agent():
+            yield ev.add_eval_batch([A(1, 1)])
+            ev.get_finished_evals()
+            yield ev.add_eval_batch([A(1, 1), A(9, 9)])
+            assert not ev.last_batch_all_cached
+
+        sim.process(agent())
+        sim.run()

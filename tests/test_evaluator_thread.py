@@ -1,0 +1,77 @@
+"""Unit tests for the thread-pool evaluator backend."""
+
+import threading
+import time
+
+from repro.evaluator import ThreadEvaluator
+from repro.nas.arch import Architecture
+from repro.rewards.base import EvalResult, RewardModel
+
+
+class SlowReward(RewardModel):
+    def __init__(self, delay=0.01):
+        self.delay = delay
+        self.calls = 0
+        self.threads = set()
+        self._lock = threading.Lock()
+
+    def evaluate(self, arch, agent_seed=0):
+        with self._lock:
+            self.calls += 1
+            self.threads.add(threading.get_ident())
+        time.sleep(self.delay)
+        return EvalResult(float(sum(arch.choices)), self.delay, 10)
+
+
+def A(*choices):
+    return Architecture("t", tuple(choices))
+
+
+class TestThreadEvaluator:
+    def test_nonblocking_then_complete(self):
+        with ThreadEvaluator(SlowReward(0.05), max_workers=2) as ev:
+            ev.add_eval_batch([A(1), A(2)])
+            # non-blocking: results may not be ready instantly
+            ev.wait_all()
+            recs = ev.get_finished_evals()
+            assert sorted(r.reward for r in recs) == [1.0, 2.0]
+
+    def test_parallel_execution(self):
+        rm = SlowReward(0.05)
+        with ThreadEvaluator(rm, max_workers=4) as ev:
+            start = time.monotonic()
+            ev.add_eval_batch([A(i) for i in range(4)])
+            ev.wait_all()
+            elapsed = time.monotonic() - start
+            assert elapsed < 4 * 0.05 * 0.9  # genuinely overlapped
+            assert len(ev.get_finished_evals()) == 4
+
+    def test_cache_hits_skip_pool(self):
+        rm = SlowReward(0.0)
+        with ThreadEvaluator(rm, max_workers=2) as ev:
+            ev.add_eval_batch([A(5)])
+            ev.wait_all()
+            ev.get_finished_evals()
+            ev.add_eval_batch([A(5)])
+            recs = ev.get_finished_evals()
+            assert rm.calls == 1
+            assert recs[0].cached
+
+    def test_drain_is_incremental(self):
+        rm = SlowReward(0.0)
+        with ThreadEvaluator(rm, max_workers=2) as ev:
+            ev.add_eval_batch([A(1)])
+            ev.wait_all()
+            first = ev.get_finished_evals()
+            assert len(first) == 1
+            assert ev.get_finished_evals() == []
+
+    def test_agent_seed_forwarded(self):
+        class SeedEcho(RewardModel):
+            def evaluate(self, arch, agent_seed=0):
+                return EvalResult(float(agent_seed), 0.0, 1)
+
+        with ThreadEvaluator(SeedEcho(), agent_id=7, max_workers=1) as ev:
+            ev.add_eval_batch([A(0)])
+            ev.wait_all()
+            assert ev.get_finished_evals()[0].reward == 7.0

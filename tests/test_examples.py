@@ -1,0 +1,49 @@
+"""Smoke tests for the example scripts.
+
+Each example must at least import cleanly; the fastest one runs end to
+end.  The long-running examples are exercised by the benchmark suite's
+equivalent experiments instead.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def _load(name: str):
+    path = EXAMPLES / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"example_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+ALL_EXAMPLES = ["quickstart", "combo_drug_synergy",
+                "nt3_tissue_classification", "uno_fidelity_study",
+                "scaling_study", "custom_search_space",
+                "analytics_walkthrough"]
+
+
+class TestExamples:
+    @pytest.mark.parametrize("name", ALL_EXAMPLES)
+    def test_imports_and_has_main(self, name):
+        module = _load(name)
+        assert callable(module.main)
+
+    def test_custom_search_space_builds(self):
+        module = _load("custom_search_space")
+        space = module.build_space()
+        assert space.size == 5 ** 5 * 4
+        data = module.make_data(n=50)
+        assert set(data.x_train) == {"omics_a", "omics_b", "clinical"}
+
+    def test_quickstart_runs(self, capsys):
+        module = _load("quickstart")
+        module.main()
+        out = capsys.readouterr().out
+        assert "best architecture" in out
+        assert "trainable parameters" in out

@@ -1,0 +1,143 @@
+"""Unit tests for node allocation arithmetic and cluster occupancy."""
+
+import pytest
+
+from repro.hpc.cluster import Cluster, NodeAllocation
+from repro.hpc.sim import Simulator, Timeout
+
+
+class TestNodeAllocation:
+    def test_paper_256(self):
+        a = NodeAllocation.paper_256()
+        assert (a.num_agents, a.workers_per_agent) == (21, 11)
+        assert a.worker_nodes == 231
+        # 21 agents + 231 workers + 1 Balsam + 3 unused = 256 (§5.1)
+        assert a.used_nodes == 253
+        assert a.unused_nodes == 3
+
+    @pytest.mark.parametrize("nodes,mode,agents,workers", [
+        (512, "workers", 21, 23),
+        (1024, "workers", 21, 47),
+        (512, "agents", 42, 11),
+        (1024, "agents", 85, 11),
+    ])
+    def test_paper_scaling_table(self, nodes, mode, agents, workers):
+        a = NodeAllocation.paper_scaling(nodes, mode)
+        assert (a.num_agents, a.workers_per_agent) == (agents, workers)
+        assert a.used_nodes <= nodes
+
+    def test_unknown_scaling_config(self):
+        with pytest.raises(ValueError):
+            NodeAllocation.paper_scaling(2048, "agents")
+
+    def test_overcommit_rejected(self):
+        with pytest.raises(ValueError):
+            NodeAllocation(10, 5, 5)
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            NodeAllocation(10, 0, 1)
+
+
+class TestCluster:
+    def test_try_acquire_counts(self):
+        sim = Simulator()
+        c = Cluster(sim, 2)
+        assert c.try_acquire() and c.try_acquire()
+        assert not c.try_acquire()
+        assert c.busy == 2 and c.idle == 0
+        c.release()
+        assert c.idle == 1
+
+    def test_release_without_acquire(self):
+        c = Cluster(Simulator(), 1)
+        with pytest.raises(RuntimeError):
+            c.release()
+
+    def test_fifo_waiting(self):
+        sim = Simulator()
+        c = Cluster(sim, 1)
+        order = []
+
+        def job(tag, hold):
+            yield c.acquire()
+            order.append(("start", tag, sim.now))
+            yield Timeout(hold)
+            c.release()
+
+        sim.process(job("a", 5.0))
+        sim.process(job("b", 5.0))
+        sim.process(job("c", 5.0))
+        sim.run()
+        assert order == [("start", "a", 0.0), ("start", "b", 5.0),
+                         ("start", "c", 10.0)]
+
+    def test_handoff_keeps_occupancy(self):
+        # when a waiter exists, release hands the node over directly
+        sim = Simulator()
+        c = Cluster(sim, 1)
+
+        def job(hold):
+            yield c.acquire()
+            yield Timeout(hold)
+            c.release()
+
+        sim.process(job(2.0))
+        sim.process(job(2.0))
+        sim.run()
+        # busy never dipped to 0 between the jobs
+        busy_at = dict(c.samples)
+        assert busy_at.get(2.0, 1) == 1 or all(
+            b > 0 for t, b in c.samples if 0 < t < 4.0)
+
+    def test_mean_utilization_exact(self):
+        sim = Simulator()
+        c = Cluster(sim, 2)
+
+        def job(start, hold):
+            yield Timeout(start)
+            yield c.acquire()
+            yield Timeout(hold)
+            c.release()
+
+        sim.process(job(0.0, 10.0))   # node busy [0, 10)
+        sim.process(job(5.0, 5.0))    # node busy [5, 10)
+        sim.run()
+        # busy-node-seconds = 10 + 5 = 15 over 2 nodes * 10 s
+        assert c.mean_utilization(10.0) == pytest.approx(0.75)
+
+    def test_utilization_trace_bins(self):
+        sim = Simulator()
+        c = Cluster(sim, 1)
+
+        def job():
+            yield c.acquire()
+            yield Timeout(3.0)
+            c.release()
+
+        sim.process(job())
+        sim.run()
+        trace = c.utilization_trace(6.0, bin_width=2.0)
+        assert [u for _, u in trace] == pytest.approx([1.0, 0.5, 0.0])
+        assert [t for t, _ in trace] == [2.0, 4.0, 6.0]
+
+    def test_trace_rejects_bad_end(self):
+        c = Cluster(Simulator(), 1)
+        with pytest.raises(ValueError):
+            c.utilization_trace(0.0)
+
+    def test_utilization_bounded(self):
+        sim = Simulator()
+        c = Cluster(sim, 3)
+
+        def job(start, hold):
+            yield Timeout(start)
+            yield c.acquire()
+            yield Timeout(hold)
+            c.release()
+
+        for s in (0.0, 0.5, 1.0, 2.0):
+            sim.process(job(s, 4.0))
+        sim.run()
+        u = c.mean_utilization(sim.now)
+        assert 0.0 <= u <= 1.0

@@ -1,0 +1,70 @@
+"""Unit tests for the training-time cost model."""
+
+import pytest
+
+from repro.hpc.costmodel import TrainingCostModel
+
+
+class TestDuration:
+    def test_linear_in_params(self):
+        cm = TrainingCostModel(samples_per_epoch=1000, startup=10.0)
+        d1 = cm.duration(1_000_000) - 10.0
+        d2 = cm.duration(2_000_000) - 10.0
+        assert d2 == pytest.approx(2 * d1)
+
+    def test_linear_in_fraction_and_epochs(self):
+        cm = TrainingCostModel(samples_per_epoch=1000, startup=0.0)
+        base = cm.duration(10_000, epochs=1, train_fraction=0.5)
+        assert cm.duration(10_000, epochs=2, train_fraction=0.5) == \
+            pytest.approx(2 * base)
+        assert cm.duration(10_000, epochs=1, train_fraction=1.0) == \
+            pytest.approx(2 * base)
+
+    def test_startup_floor(self):
+        cm = TrainingCostModel(samples_per_epoch=1000, startup=30.0)
+        assert cm.duration(0) == 30.0
+
+    def test_validation_term(self):
+        with_val = TrainingCostModel(samples_per_epoch=1000, val_samples=500,
+                                     startup=0.0)
+        without = TrainingCostModel(samples_per_epoch=1000, startup=0.0)
+        assert with_val.duration(1000) > without.duration(1000)
+
+    def test_invalid_fraction(self):
+        cm = TrainingCostModel(samples_per_epoch=100)
+        with pytest.raises(ValueError):
+            cm.duration(10, train_fraction=0.0)
+        with pytest.raises(ValueError):
+            cm.duration(10, train_fraction=1.5)
+
+    def test_negative_params(self):
+        cm = TrainingCostModel(samples_per_epoch=100)
+        with pytest.raises(ValueError):
+            cm.duration(-5)
+
+    def test_invalid_ctor(self):
+        with pytest.raises(ValueError):
+            TrainingCostModel(samples_per_epoch=0)
+
+
+class TestPaperCalibration:
+    def test_combo_reward_estimation_regime(self):
+        """At 10% Combo data, paper-scale architectures land in the
+        1–10 minute range; the manual network (13.77M params) exceeds
+        the 10-minute timeout at 40% data."""
+        cm = TrainingCostModel.combo_paper()
+        d_small = cm.duration(2_000_000, epochs=1, train_fraction=0.1)
+        assert 60.0 < d_small < 600.0
+        d_manual_40 = cm.duration(13_772_001, epochs=1, train_fraction=0.4)
+        assert d_manual_40 > 600.0
+
+    def test_uno_duration_variance_smaller(self):
+        """§5.1: randomly sampled Uno networks have smaller variance of
+        reward-estimation times than Combo ones (far fewer samples)."""
+        combo = TrainingCostModel.combo_paper()
+        uno = TrainingCostModel.uno_paper()
+        p_lo, p_hi = 500_000, 20_000_000
+        combo_spread = combo.duration(p_hi, train_fraction=0.1) \
+            - combo.duration(p_lo, train_fraction=0.1)
+        uno_spread = uno.duration(p_hi) - uno.duration(p_lo)
+        assert uno_spread < combo_spread

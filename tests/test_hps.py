@@ -1,0 +1,90 @@
+"""Tests for the hyperparameter-search module."""
+
+import numpy as np
+import pytest
+
+from repro.hps import HyperparameterSpace, random_search, successive_halving
+
+
+class TestSpace:
+    def test_sample_in_bounds(self, rng):
+        space = HyperparameterSpace(lr_range=(1e-4, 1e-2),
+                                    batch_sizes=(16, 32))
+        for _ in range(50):
+            cfg = space.sample(rng)
+            assert 1e-4 <= cfg["lr"] <= 1e-2
+            assert cfg["batch_size"] in (16, 32)
+
+    def test_log_uniform_spread(self, rng):
+        space = HyperparameterSpace(lr_range=(1e-5, 1e-1))
+        lrs = np.array([space.sample(rng)["lr"] for _ in range(500)])
+        # roughly half the draws below the geometric mid-point
+        mid = np.sqrt(1e-5 * 1e-1)
+        assert 0.3 < np.mean(lrs < mid) < 0.7
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HyperparameterSpace(lr_range=(1e-2, 1e-4))
+        with pytest.raises(ValueError):
+            HyperparameterSpace(batch_sizes=())
+        with pytest.raises(ValueError):
+            HyperparameterSpace(max_epochs=0)
+
+
+class TestRandomSearch:
+    def test_finds_reasonable_config(self, small_combo):
+        space = HyperparameterSpace(lr_range=(1e-4, 1e-2),
+                                    batch_sizes=(16, 32), max_epochs=4)
+        result = random_search(small_combo, space, num_trials=4, seed=0)
+        assert result.num_trials == 4
+        assert result.best_metric == max(m for _, m in result.trials)
+        assert "lr" in result.best_config
+
+    def test_invalid_trials(self, small_combo):
+        space = HyperparameterSpace()
+        with pytest.raises(ValueError):
+            random_search(small_combo, space, num_trials=0)
+
+    def test_deterministic(self, small_combo):
+        space = HyperparameterSpace(max_epochs=2)
+        r1 = random_search(small_combo, space, num_trials=3, seed=4)
+        r2 = random_search(small_combo, space, num_trials=3, seed=4)
+        assert r1.trials == r2.trials
+
+    def test_arch_target(self, small_combo, rng):
+        arch = small_combo.space.random_architecture(rng)
+        space = HyperparameterSpace(max_epochs=2)
+        result = random_search(small_combo, space, num_trials=2, arch=arch,
+                               seed=1)
+        assert result.num_trials == 2
+
+
+class TestSuccessiveHalving:
+    def test_halving_schedule(self, small_combo):
+        space = HyperparameterSpace(max_epochs=4)
+        result = successive_halving(small_combo, space, num_configs=8,
+                                    eta=2, min_epochs=1, seed=0)
+        # rungs: 8 @1, 4 @2, 2 @4 -> 14 total evaluations
+        assert result.num_trials == 14
+        assert np.isfinite(result.best_metric)
+
+    def test_single_survivor_stops(self, small_combo):
+        space = HyperparameterSpace(max_epochs=32)
+        result = successive_halving(small_combo, space, num_configs=2,
+                                    eta=2, min_epochs=1, seed=0)
+        # 2 @1, then 1 survivor @2 -> stops with one config
+        assert result.num_trials == 3
+
+    def test_validation(self, small_combo):
+        space = HyperparameterSpace()
+        with pytest.raises(ValueError):
+            successive_halving(small_combo, space, num_configs=1)
+        with pytest.raises(ValueError):
+            successive_halving(small_combo, space, num_configs=4, eta=1)
+
+    def test_budget_capped_at_max_epochs(self, small_combo):
+        space = HyperparameterSpace(max_epochs=2)
+        result = successive_halving(small_combo, space, num_configs=4,
+                                    eta=2, min_epochs=2, seed=0)
+        # first rung already at max budget: stops immediately
+        assert result.num_trials == 4

@@ -1,0 +1,127 @@
+"""Integration tests: full search → analytics → post-training pipelines."""
+
+import numpy as np
+import pytest
+
+from repro.analytics import (best_so_far_trajectory, top_k_architectures,
+                             unique_architectures)
+from repro.evaluator import SerialEvaluator
+from repro.hpc import NodeAllocation, TrainingCostModel
+from repro.posttrain import post_train
+from repro.rewards import SurrogateReward, TrainingReward
+from repro.search import NasSearch, SearchConfig, run_search
+
+
+def _surrogate_for(problem, paper_shapes, cost_model, **kwargs):
+    defaults = dict(epochs=1, train_fraction=0.1, timeout=600.0, seed=5)
+    defaults.update(kwargs)
+    return SurrogateReward(problem.space, paper_shapes, problem.head_ops,
+                           cost_model, **defaults)
+
+
+class TestSimulatedSearchToPostTrain:
+    def test_combo_pipeline(self, small_combo):
+        """Search on the simulated cluster with the surrogate, then
+        post-train the top architectures with real numpy training."""
+        from repro.problems.combo import COMBO_PAPER_SHAPES
+        rm = _surrogate_for(small_combo, COMBO_PAPER_SHAPES,
+                            TrainingCostModel.combo_paper(),
+                            log_params_opt=6.5)
+        cfg = SearchConfig(method="a3c", allocation=NodeAllocation(32, 4, 3),
+                           wall_time=90 * 60, seed=2)
+        res = run_search(small_combo.space, rm, cfg)
+        assert res.num_evaluations > 50
+
+        top = top_k_architectures(res.records, k=3)
+        report = post_train(small_combo, [t.arch for t in top], epochs=4,
+                            time_model=TrainingCostModel.combo_paper())
+        assert len(report.entries) == 3
+        for e in report.entries:
+            assert np.isfinite(e.metric)
+            assert e.params > 0
+
+    def test_uno_pipeline(self, small_uno):
+        from repro.problems.uno import UNO_PAPER_SHAPES
+        rm = _surrogate_for(small_uno, UNO_PAPER_SHAPES,
+                            TrainingCostModel.uno_paper())
+        cfg = SearchConfig(method="a2c", allocation=NodeAllocation(32, 4, 3),
+                           wall_time=60 * 60, seed=3)
+        res = run_search(small_uno.space, rm, cfg)
+        assert res.num_evaluations > 20
+        assert unique_architectures(res.records) > 10
+
+    def test_nt3_pipeline(self, small_nt3):
+        from repro.problems.nt3 import NT3_PAPER_SHAPES
+        rm = _surrogate_for(small_nt3, NT3_PAPER_SHAPES,
+                            TrainingCostModel.nt3_paper(),
+                            noise=0.25, log_params_opt=5.0)
+        cfg = SearchConfig(method="rdm", allocation=NodeAllocation(32, 4, 3),
+                           wall_time=60 * 60, seed=4)
+        res = run_search(small_nt3.space, rm, cfg)
+        assert res.num_evaluations > 20
+        traj = best_so_far_trajectory(res.records)
+        assert traj[-1, 1] >= traj[0, 1]
+
+
+class TestRealTrainingSearch:
+    def test_serial_evaluator_search_loop(self, small_combo):
+        """A laptop-scale loop: sample → really train → PPO update, using
+        the SerialEvaluator backend (no simulation)."""
+        from repro.rl import LSTMPolicy, PPOUpdater, PPOConfig
+
+        rm = TrainingReward(small_combo, epochs=1, train_fraction=0.5)
+        evaluator = SerialEvaluator(rm)
+        policy = LSTMPolicy(small_combo.space.action_dims, seed=0)
+        updater = PPOUpdater(policy, PPOConfig(lr=5e-3))
+        rng = np.random.default_rng(0)
+
+        all_rewards = []
+        for _ in range(3):
+            rollout = policy.sample(4, rng)
+            archs = [small_combo.space.decode(a) for a in rollout.actions]
+            evaluator.add_eval_batch(archs)
+            recs = evaluator.get_finished_evals()
+            by_key = {}
+            for r in recs:
+                by_key.setdefault(r.arch.key, []).append(r.reward)
+            rewards = np.array([by_key[a.key].pop(0) for a in archs])
+            updater.update(rollout, rewards)
+            all_rewards.extend(rewards)
+        assert len(all_rewards) == 12
+        assert all(-1.0 <= r <= 1.0 for r in all_rewards)
+
+    def test_training_reward_feeds_posttrain(self, small_nt3):
+        rm = TrainingReward(small_nt3, epochs=1)
+        evaluator = SerialEvaluator(rm)
+        rng = np.random.default_rng(1)
+        archs = [small_nt3.space.random_architecture(rng) for _ in range(4)]
+        evaluator.add_eval_batch(archs)
+        recs = sorted(evaluator.get_finished_evals(),
+                      key=lambda r: -r.reward)
+        report = post_train(small_nt3, [recs[0].arch], epochs=3)
+        assert 0.0 <= report.entries[0].metric <= 1.0
+
+
+class TestScalingConfigurations:
+    @pytest.mark.parametrize("nodes,mode", [(512, "workers"),
+                                            (512, "agents")])
+    def test_scaled_allocations_run(self, nodes, mode):
+        """Down-scaled replica of the §5.3 agent- vs worker-scaling runs
+        (structure preserved, sizes shrunk for test time)."""
+        from repro.nas.spaces import combo_small
+        from repro.problems.combo import COMBO_PAPER_SHAPES, combo_head
+        space = combo_small()
+        alloc = NodeAllocation.paper_scaling(nodes, mode)
+        # shrink: keep the agents/workers ratio, cap totals
+        shrunk = NodeAllocation(
+            total_nodes=64,
+            num_agents=max(2, alloc.num_agents // 12),
+            workers_per_agent=max(2, alloc.workers_per_agent // 4))
+        rm = SurrogateReward(space, COMBO_PAPER_SHAPES, combo_head(),
+                             TrainingCostModel.combo_paper(),
+                             train_fraction=0.1, timeout=600.0, seed=6)
+        cfg = SearchConfig(method="a3c", allocation=shrunk,
+                           wall_time=45 * 60, seed=6)
+        res = run_search(space, rm, cfg)
+        assert res.num_evaluations > 0
+        assert 0.0 < res.cluster.mean_utilization(res.end_time) <= 1.0

@@ -1,0 +1,223 @@
+"""Unit tests for the architecture compiler (plan + materialization)."""
+
+import numpy as np
+import pytest
+
+from repro.nas.builder import (build_model, compile_architecture,
+                               count_parameters)
+from repro.nas.nodes import ConstantNode, MirrorNode, VariableNode
+from repro.nas.ops import (AddOp, ConnectOp, Conv1DOp, DenseOp, DropoutOp,
+                           IdentityOp, MaxPooling1DOp)
+from repro.nas.space import Block, Cell, Structure
+
+
+def _mlp_ops():
+    return [IdentityOp(), DenseOp(6, "relu"), DropoutOp(0.1)]
+
+
+def _chain_structure():
+    s = Structure("chain", ["x"], output_sources="last_cell")
+    c = Cell("C0")
+    b = Block("B0", inputs=["x"])
+    b.add_node(VariableNode("N0", _mlp_ops()))
+    b.add_node(VariableNode("N1", _mlp_ops()))
+    c.add_block(b)
+    s.add_cell(c)
+    s.validate()
+    return s
+
+
+SHAPES = {"x": (5,)}
+HEAD = [DenseOp(1, "linear")]
+
+
+class TestPlan:
+    def test_param_count_dense_chain(self):
+        s = _chain_structure()
+        # Dense(6) on 5 inputs, Dense(6) on 6, head Dense(1) on 6
+        n = count_parameters(s, [1, 1], SHAPES, HEAD)
+        assert n == (5 + 1) * 6 + (6 + 1) * 6 + (6 + 1) * 1
+
+    def test_identity_contributes_nothing(self):
+        s = _chain_structure()
+        n = count_parameters(s, [0, 0], SHAPES, HEAD)
+        assert n == (5 + 1) * 1  # only the head
+
+    def test_plan_matches_materialized_params(self, rng):
+        s = _chain_structure()
+        for choices in ([0, 1], [1, 2], [2, 2], [1, 1]):
+            plan = compile_architecture(s, choices, SHAPES, HEAD)
+            model = plan.materialize(rng)
+            assert plan.total_params == model.num_params, choices
+
+    def test_output_shape(self):
+        s = _chain_structure()
+        plan = compile_architecture(s, [1, 1], SHAPES, HEAD)
+        assert plan.output_shape == (1,)
+
+    def test_depth_counts_parameterized_layers(self):
+        s = _chain_structure()
+        assert compile_architecture(s, [1, 1], SHAPES, HEAD).depth == 3
+        assert compile_architecture(s, [0, 0], SHAPES, HEAD).depth == 1
+
+    def test_missing_input_shape_raises(self):
+        s = _chain_structure()
+        with pytest.raises(KeyError):
+            compile_architecture(s, [0, 0], {}, HEAD)
+
+    def test_invalid_choices_raise(self):
+        s = _chain_structure()
+        with pytest.raises(IndexError):
+            compile_architecture(s, [0, 9], SHAPES, HEAD)
+
+
+class TestMirror:
+    def _mirror_structure(self):
+        s = Structure("mir", ["a", "b"], output_sources="last_cell")
+        c = Cell("C0")
+        b0 = Block("B0", inputs=["a"])
+        n0 = VariableNode("N0", _mlp_ops())
+        b0.add_node(n0)
+        c.add_block(b0)
+        b1 = Block("B1", inputs=["b"])
+        b1.add_node(MirrorNode("N0", n0))
+        c.add_block(b1)
+        s.add_cell(c)
+        s.validate()
+        return s
+
+    def test_mirror_shares_weights(self, rng):
+        s = self._mirror_structure()
+        shapes = {"a": (5,), "b": (5,)}
+        model = build_model(s, [1], shapes, HEAD, rng)
+        denses = [l for l in model.layers.values()
+                  if type(l).__name__ == "Dense" and l.units == 6]
+        assert len(denses) == 2
+        assert denses[0].w is denses[1].w
+
+    def test_mirror_params_counted_once(self):
+        s = self._mirror_structure()
+        shapes = {"a": (5,), "b": (5,)}
+        n = count_parameters(s, [1], shapes, HEAD)
+        # one Dense(6) on 5 + head on concat(6, 6)=12
+        assert n == (5 + 1) * 6 + (12 + 1) * 1
+
+    def test_mirror_of_identity(self, rng):
+        s = self._mirror_structure()
+        shapes = {"a": (5,), "b": (5,)}
+        model = build_model(s, [0], shapes, HEAD, rng)
+        x = {"a": rng.standard_normal((2, 5)),
+             "b": rng.standard_normal((2, 5))}
+        assert model.forward(x).shape == (2, 1)
+
+    def test_mirror_of_dropout_is_independent_layer(self, rng):
+        s = self._mirror_structure()
+        shapes = {"a": (5,), "b": (5,)}
+        model = build_model(s, [2], shapes, HEAD, rng)
+        # dropout has no weights: only the head on concat(5, 5)
+        assert model.num_params == (10 + 1) * 1
+
+
+class TestConnect:
+    def _connect_structure(self):
+        s = Structure("con", ["x", "y"], output_sources="all_cells")
+        c0 = Cell("C0")
+        b = Block("B0", inputs=["x"])
+        b.add_node(VariableNode("N0", _mlp_ops()))
+        c0.add_block(b)
+        s.add_cell(c0)
+        c1 = Cell("C1")
+        b0 = Block("B0", inputs=["C0"])
+        b0.add_node(VariableNode("N0", _mlp_ops()))
+        c1.add_block(b0)
+        b1 = Block("B1", inputs=["C0"])
+        b1.add_node(VariableNode("N1", [
+            ConnectOp(), ConnectOp("x"), ConnectOp("x", "y")]))
+        c1.add_block(b1)
+        s.add_cell(c1)
+        s.validate()
+        return s
+
+    SHAPES2 = {"x": (4,), "y": (3,)}
+
+    def test_null_option_contributes_nothing(self, rng):
+        s = self._connect_structure()
+        # C0 -> Dense(6); C1.B0 -> Dense(6); Null connect.
+        # output = concat(C0=6, C1=6) = 12 -> head
+        n = count_parameters(s, [1, 1, 0], self.SHAPES2, HEAD)
+        assert n == (4 + 1) * 6 + (6 + 1) * 6 + (12 + 1) * 1
+
+    def test_single_skip_widens_cell_output(self):
+        s = self._connect_structure()
+        # connect 'x' (4 wide): C1 output = 6 + 4
+        n = count_parameters(s, [1, 1, 1], self.SHAPES2, HEAD)
+        assert n == (4 + 1) * 6 + (6 + 1) * 6 + (16 + 1) * 1
+
+    def test_multi_skip(self):
+        s = self._connect_structure()
+        n = count_parameters(s, [1, 1, 2], self.SHAPES2, HEAD)
+        assert n == (4 + 1) * 6 + (6 + 1) * 6 + (19 + 1) * 1
+
+    def test_forward_runs(self, rng):
+        s = self._connect_structure()
+        for c in ([1, 1, 0], [1, 1, 1], [0, 2, 2]):
+            m = build_model(s, c, self.SHAPES2, HEAD, rng)
+            x = {"x": rng.standard_normal((3, 4)),
+                 "y": rng.standard_normal((3, 3))}
+            assert m.forward(x).shape == (3, 1)
+
+
+class TestAddAndAutoFlatten:
+    def test_residual_add(self, rng):
+        s = Structure("res", ["x"], output_sources="last_cell")
+        c = Cell("C0")
+        b = Block("B0", inputs=["x"])
+        b.add_node(VariableNode("N0", _mlp_ops()))
+        b.add_node(VariableNode("N1", _mlp_ops()))
+        b.add_node(ConstantNode("N2", AddOp()), extra_inputs=[0])
+        c.add_block(b)
+        s.add_cell(c)
+        s.validate()
+        m = build_model(s, [1, 1], SHAPES, HEAD, rng)
+        assert m.forward({"x": rng.standard_normal((2, 5))}).shape == (2, 1)
+
+    def test_auto_flatten_before_dense(self, rng):
+        s = Structure("cnn", ["x"], output_sources="last_cell")
+        c = Cell("C0")
+        b = Block("B0", inputs=["x"])
+        b.add_node(VariableNode("N0", [Conv1DOp(3, filters=4)]))
+        b.add_node(VariableNode("N1", [MaxPooling1DOp(2)]))
+        b.add_node(VariableNode("N2", [DenseOp(7)]))
+        c.add_block(b)
+        s.add_cell(c)
+        s.validate()
+        shapes = {"x": (20, 1)}
+        plan = compile_architecture(s, [0, 0, 0], shapes, HEAD)
+        kinds = [n.kind for n in plan.nodes]
+        assert "flatten" in kinds
+        m = plan.materialize(rng)
+        assert m.forward({"x": rng.standard_normal((2, 20, 1))}).shape == (2, 1)
+        # conv (3*1+1)*4, Dense on flattened (20-3+1)//2 * 4 = 36 features
+        assert plan.total_params == (3 + 1) * 4 + (36 + 1) * 7 + (7 + 1) * 1
+
+    def test_head_flattens_rank2_output(self, rng):
+        s = Structure("cnn2", ["x"], output_sources="last_cell")
+        c = Cell("C0")
+        b = Block("B0", inputs=["x"])
+        b.add_node(VariableNode("N0", [Conv1DOp(3, filters=2), IdentityOp()]))
+        c.add_block(b)
+        s.add_cell(c)
+        s.validate()
+        m = build_model(s, [0], {"x": (10, 1)}, HEAD, rng)
+        assert m.forward({"x": np.zeros((2, 10, 1))}).shape == (2, 1)
+
+    def test_multi_input_block_concatenated(self, rng):
+        s = Structure("mi", ["x", "y"], output_sources="last_cell")
+        c = Cell("C0")
+        b = Block("B0", inputs=["x", "y"])
+        b.add_node(VariableNode("N0", [DenseOp(3)]))
+        c.add_block(b)
+        s.add_cell(c)
+        s.validate()
+        n = count_parameters(s, [0], {"x": (4,), "y": (2,)}, HEAD)
+        assert n == (6 + 1) * 3 + (3 + 1) * 1

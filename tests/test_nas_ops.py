@@ -1,0 +1,128 @@
+"""Unit tests for search-space operations."""
+
+import numpy as np
+import pytest
+
+from repro.nas.ops import (ActivationOp, AddOp, ConnectOp, Conv1DOp,
+                           DenseOp, DropoutOp, IdentityOp, MaxPooling1DOp)
+from repro.nn.conv import Conv1D, MaxPooling1D
+from repro.nn.layers import Activation, Dense, Dropout, Identity
+from repro.nn.merge import Add, Concatenate
+
+
+class TestNames:
+    """Display names match the paper's notation."""
+
+    def test_dense(self):
+        assert DenseOp(100, "relu").name == "Dense(100, relu)"
+
+    def test_dropout(self):
+        assert DropoutOp(0.05).name == "Dropout(0.05)"
+
+    def test_identity(self):
+        assert IdentityOp().name == "Identity"
+
+    def test_conv(self):
+        assert Conv1DOp(3).name == "Conv1D(3)"
+
+    def test_pool(self):
+        assert MaxPooling1DOp(4).name == "MaxPooling1D(4)"
+
+    def test_activation(self):
+        assert ActivationOp("relu").name == "Activation(relu)"
+
+    def test_connect_null(self):
+        assert ConnectOp().name == "Connect(Null)"
+
+    def test_connect_refs(self):
+        assert ConnectOp("a", "b").name == "Connect(a, b)"
+
+
+class TestShapeInference:
+    def test_dense(self):
+        op = DenseOp(10, "tanh")
+        assert op.out_shape((7,)) == (10,)
+        assert op.param_count((7,)) == 80
+        assert op.requires_flat()
+
+    def test_conv(self):
+        op = Conv1DOp(5, filters=8)
+        assert op.out_shape((20, 3)) == (16, 8)
+        assert op.param_count((20, 3)) == (5 * 3 + 1) * 8
+
+    def test_conv_too_short(self):
+        with pytest.raises(ValueError):
+            Conv1DOp(10).out_shape((5, 1))
+
+    def test_pool(self):
+        op = MaxPooling1DOp(3)
+        assert op.out_shape((10, 2)) == (3, 2)
+        assert op.param_count((10, 2)) == 0
+
+    def test_pool_exhausted(self):
+        with pytest.raises(ValueError):
+            MaxPooling1DOp(6).out_shape((5, 1))
+
+    def test_passthrough_ops(self):
+        for op in (IdentityOp(), DropoutOp(0.2), ActivationOp("relu")):
+            assert op.out_shape((9,)) == (9,)
+            assert op.param_count((9,)) == 0
+
+
+class TestMakeLayer:
+    def test_layer_types(self, rng):
+        pairs = [
+            (IdentityOp(), Identity),
+            (DenseOp(5), Dense),
+            (DropoutOp(0.1), Dropout),
+            (ActivationOp("tanh"), Activation),
+            (Conv1DOp(3), Conv1D),
+            (MaxPooling1DOp(2), MaxPooling1D),
+            (AddOp(), Add),
+            (ConnectOp("x"), Concatenate),
+        ]
+        for op, cls in pairs:
+            assert isinstance(op.make_layer("n"), cls), op.name
+
+    def test_dense_share(self, rng):
+        a = Dense(5)
+        a.build((3,), rng)
+        layer = DenseOp(5).make_layer("b", share_from=a)
+        layer.build((3,), rng)
+        assert layer.w is a.w
+
+
+class TestEqualityHash:
+    def test_equal_ops(self):
+        assert DenseOp(10, "relu") == DenseOp(10, "relu")
+        assert hash(DenseOp(10, "relu")) == hash(DenseOp(10, "relu"))
+
+    def test_unequal_ops(self):
+        assert DenseOp(10, "relu") != DenseOp(10, "tanh")
+        assert DenseOp(10) != DropoutOp(0.1)
+
+    def test_connect_refs_matter(self):
+        assert ConnectOp("a") != ConnectOp("b")
+        assert ConnectOp() == ConnectOp()
+
+
+class TestValidation:
+    def test_dense_invalid(self):
+        with pytest.raises(ValueError):
+            DenseOp(0)
+        with pytest.raises(ValueError):
+            DenseOp(5, "selu")
+
+    def test_dropout_invalid(self):
+        with pytest.raises(ValueError):
+            DropoutOp(1.0)
+
+    def test_conv_invalid(self):
+        with pytest.raises(ValueError):
+            Conv1DOp(0)
+
+    def test_merge_flags(self):
+        assert AddOp().is_merge and ConnectOp().is_merge
+        assert not DenseOp(3).is_merge
+        assert DenseOp(3).shareable and Conv1DOp(3).shareable
+        assert not DropoutOp(0.1).shareable

@@ -1,0 +1,208 @@
+"""Unit tests for the Block/Cell/Structure formalism."""
+
+import numpy as np
+import pytest
+
+from repro.nas.arch import Architecture
+from repro.nas.nodes import ConstantNode, MirrorNode, VariableNode
+from repro.nas.ops import AddOp, ConnectOp, DenseOp, DropoutOp, IdentityOp
+from repro.nas.space import Block, Cell, Structure
+
+
+def _ops3():
+    return [IdentityOp(), DenseOp(4, "relu"), DropoutOp(0.1)]
+
+
+def _tiny_structure():
+    s = Structure("tiny", ["x"], output_sources="last_cell")
+    c = Cell("C0")
+    b = Block("B0", inputs=["x"])
+    b.add_node(VariableNode("N0", _ops3()))
+    b.add_node(VariableNode("N1", _ops3()))
+    c.add_block(b)
+    s.add_cell(c)
+    s.validate()
+    return s
+
+
+class TestNodes:
+    def test_variable_node_add_op(self):
+        n = VariableNode("n")
+        n.add_op(IdentityOp()).add_op(DenseOp(3))
+        assert n.num_ops == 2
+        assert n.op_at(1) == DenseOp(3)
+
+    def test_op_at_out_of_range(self):
+        n = VariableNode("n", _ops3())
+        with pytest.raises(IndexError):
+            n.op_at(3)
+        with pytest.raises(IndexError):
+            n.op_at(-1)
+
+    def test_add_op_type_check(self):
+        with pytest.raises(TypeError):
+            VariableNode("n").add_op("Dense(3)")
+
+    def test_constant_node(self):
+        c = ConstantNode("c", IdentityOp())
+        assert c.op == IdentityOp()
+        with pytest.raises(TypeError):
+            ConstantNode("c", 42)
+
+    def test_mirror_node_targets(self):
+        v = VariableNode("v", _ops3())
+        assert MirrorNode("m", v).target is v
+        c = ConstantNode("c", DenseOp(3))
+        assert MirrorNode("m", c).target is c
+        with pytest.raises(TypeError):
+            MirrorNode("m", "v")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            VariableNode("")
+
+
+class TestBlock:
+    def test_needs_input(self):
+        with pytest.raises(ValueError):
+            Block("b", inputs=[])
+
+    def test_extra_inputs_must_be_earlier(self):
+        b = Block("b", inputs=["x"])
+        b.add_node(VariableNode("n0", _ops3()))
+        with pytest.raises(ValueError):
+            b.add_node(ConstantNode("n1", AddOp()), extra_inputs=[1])
+
+    def test_extra_inputs_require_merge_node(self):
+        b = Block("b", inputs=["x"])
+        b.add_node(VariableNode("n0", _ops3()))
+        b.add_node(VariableNode("n1", _ops3()), extra_inputs=[0])
+        with pytest.raises(ValueError):
+            b.validate()
+
+    def test_connect_must_be_alone(self):
+        b = Block("b", inputs=["x"])
+        b.add_node(VariableNode("n0", [ConnectOp(), ConnectOp("x")]))
+        b.add_node(VariableNode("n1", _ops3()))
+        with pytest.raises(ValueError):
+            b.validate()
+
+    def test_empty_variable_node_rejected(self):
+        b = Block("b", inputs=["x"])
+        b.add_node(VariableNode("n0"))
+        with pytest.raises(ValueError):
+            b.validate()
+
+
+class TestStructure:
+    def test_action_dims_and_size(self):
+        s = _tiny_structure()
+        assert s.action_dims == [3, 3]
+        assert s.size == 9
+        assert s.num_actions == 2
+
+    def test_decode_roundtrip(self):
+        s = _tiny_structure()
+        arch = s.decode([1, 2])
+        assert isinstance(arch, Architecture)
+        assert arch.choices == (1, 2)
+        assert arch.space == "tiny"
+
+    def test_decode_wrong_length(self):
+        s = _tiny_structure()
+        with pytest.raises(ValueError):
+            s.decode([1])
+
+    def test_decode_out_of_range(self):
+        s = _tiny_structure()
+        with pytest.raises(IndexError):
+            s.decode([1, 5])
+
+    def test_random_architecture_valid(self):
+        s = _tiny_structure()
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            arch = s.random_architecture(rng)
+            assert all(0 <= c < 3 for c in arch.choices)
+
+    def test_duplicate_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            Structure("s", ["x", "x"])
+
+    def test_duplicate_cell_rejected(self):
+        s = Structure("s", ["x"])
+        s.add_cell(Cell("C0"))
+        with pytest.raises(ValueError):
+            s.add_cell(Cell("C0"))
+
+    def test_unknown_block_input_rejected(self):
+        s = Structure("s", ["x"])
+        c = Cell("C0")
+        b = Block("B0", inputs=["missing"])
+        b.add_node(VariableNode("N0", _ops3()))
+        c.add_block(b)
+        s.add_cell(c)
+        with pytest.raises(ValueError):
+            s.validate()
+
+    def test_forward_reference_rejected(self):
+        # a block cannot consume a later cell's output
+        s = Structure("s", ["x"])
+        c0 = Cell("C0")
+        b = Block("B0", inputs=["C1"])
+        b.add_node(VariableNode("N0", _ops3()))
+        c0.add_block(b)
+        s.add_cell(c0)
+        c1 = Cell("C1")
+        b1 = Block("B0", inputs=["x"])
+        b1.add_node(VariableNode("N0", _ops3()))
+        c1.add_block(b1)
+        s.add_cell(c1)
+        with pytest.raises(ValueError):
+            s.validate()
+
+    def test_mirror_outside_structure_rejected(self):
+        foreign = VariableNode("f", _ops3())
+        s = Structure("s", ["x"])
+        c = Cell("C0")
+        b = Block("B0", inputs=["x"])
+        b.add_node(MirrorNode("m", foreign))
+        c.add_block(b)
+        s.add_cell(c)
+        with pytest.raises(ValueError):
+            s.validate()
+
+    def test_describe(self):
+        s = _tiny_structure()
+        lines = s.describe([0, 1])
+        assert lines[0] == "C0.B0.N0: Identity"
+        assert lines[1] == "C0.B0.N1: Dense(4, relu)"
+
+    def test_unknown_output_source_rejected(self):
+        s = Structure("s", ["x"], output_sources=["nope"])
+        c = Cell("C0")
+        b = Block("B0", inputs=["x"])
+        b.add_node(VariableNode("N0", _ops3()))
+        c.add_block(b)
+        s.add_cell(c)
+        with pytest.raises(ValueError):
+            s.validate()
+
+
+class TestArchitecture:
+    def test_hashable_and_equal(self):
+        a = Architecture("s", (1, 2))
+        b = Architecture("s", (1, 2))
+        assert a == b and hash(a) == hash(b)
+        assert a.key == ("s", (1, 2))
+
+    def test_dict_roundtrip(self):
+        a = Architecture("s", (3, 0, 1))
+        assert Architecture.from_dict(a.to_dict()) == a
+
+    def test_str(self):
+        assert str(Architecture("s", (1, 2))) == "s[1,2]"
+
+    def test_coerces_ints(self):
+        a = Architecture("s", (np.int64(1), np.int64(2)))
+        assert all(isinstance(c, int) for c in a.choices)

@@ -1,0 +1,48 @@
+"""Tests for the text renderers."""
+
+from repro.nas.builder import compile_architecture
+from repro.nas.ops import DenseOp
+from repro.nas.spaces import combo_small, uno_small
+from repro.nas.visualize import render_plan, render_space
+from repro.problems.combo import COMBO_PAPER_SHAPES
+
+
+class TestRenderSpace:
+    def test_combo_space_content(self):
+        text = render_space(combo_small())
+        assert "Structure 'combo-small'" in text
+        assert "cardinality: 2.0968e+14" in text
+        assert "mirror of N0" in text
+        assert "[a12]" in text and "[a13]" not in text  # 13 decisions
+        assert "output: concat(all_cells)" in text
+
+    def test_uno_space_shows_constants(self):
+        text = render_space(uno_small())
+        assert "Identity [constant]" in text
+        assert "Add [constant]" in text
+        assert "(+ inputs from nodes [0])" in text
+
+    def test_option_truncation(self):
+        text = render_space(combo_small())
+        assert "... (13 options)" in text
+
+
+class TestRenderPlan:
+    def test_plan_content(self):
+        space = combo_small()
+        choices = [1] * 9 + [0] + [1] * 3
+        plan = compile_architecture(space, choices, COMBO_PAPER_SHAPES,
+                                    [DenseOp(1, "linear")])
+        text = render_plan(plan)
+        assert f"{plan.total_params:,} trainable parameters" in text
+        assert "input cell_expression" in text
+        assert "[shares " in text           # mirror sharing is visible
+        assert f"output: {plan.output}" in text
+
+    def test_every_plan_node_rendered(self):
+        space = combo_small()
+        plan = compile_architecture(space, [0] * 13, COMBO_PAPER_SHAPES,
+                                    [DenseOp(1, "linear")])
+        text = render_plan(plan)
+        for node in plan.nodes:
+            assert node.name in text

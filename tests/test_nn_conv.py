@@ -1,0 +1,122 @@
+"""Unit tests for Conv1D, MaxPooling1D, Flatten."""
+
+import numpy as np
+import pytest
+
+from repro.nn.conv import Conv1D, Flatten, MaxPooling1D
+
+from helpers import assert_grad_matches
+
+
+class TestConv1D:
+    def test_valid_padding_shape(self, rng):
+        c = Conv1D(8, 5)
+        assert c.build((20, 3), rng) == (16, 8)
+
+    def test_stride_shape(self, rng):
+        c = Conv1D(4, 3, strides=2)
+        assert c.build((11, 2), rng) == (5, 4)
+
+    def test_param_count(self, rng):
+        c = Conv1D(8, 5)
+        c.build((20, 3), rng)
+        assert c.num_params == (5 * 3 + 1) * 8
+
+    def test_matches_naive_convolution(self, rng):
+        c = Conv1D(2, 3)
+        c.build((7, 2), rng)
+        x = rng.standard_normal((1, 7, 2))
+        out = c.forward(x)
+        for l in range(5):
+            for f in range(2):
+                ref = np.sum(x[0, l:l + 3] * c.w.value[:, :, f]) + c.b.value[f]
+                assert abs(out[0, l, f] - ref) < 1e-12
+
+    @pytest.mark.parametrize("strides", [1, 2, 3])
+    def test_gradcheck(self, strides, rng):
+        c = Conv1D(3, 4, strides=strides, activation="tanh")
+        c.build((13, 2), rng)
+        x = rng.standard_normal((2, 13, 2))
+
+        def f():
+            return float(np.sum(c.forward(x)))
+
+        c.forward(x)
+        for p in c.parameters():
+            p.zero_grad()
+        grad_in = c.backward(np.ones(c.forward(x).shape))
+        assert_grad_matches(f, c.parameters(), rng)
+        # input gradient
+        eps = 1e-6
+        i = (1, 5, 0)
+        xp, xm = x.copy(), x.copy()
+        xp[i] += eps
+        xm[i] -= eps
+        num = (c.forward(xp).sum() - c.forward(xm).sum()) / (2 * eps)
+        assert abs(num - grad_in[i]) < 1e-6
+
+    def test_too_short_input_raises(self, rng):
+        with pytest.raises(ValueError):
+            Conv1D(2, 10).build((5, 1), rng)
+
+    def test_rank1_input_raises(self, rng):
+        with pytest.raises(ValueError):
+            Conv1D(2, 3).build((5,), rng)
+
+    def test_invalid_ctor(self):
+        with pytest.raises(ValueError):
+            Conv1D(0, 3)
+        with pytest.raises(ValueError):
+            Conv1D(2, 3, strides=0)
+
+
+class TestMaxPooling1D:
+    def test_shape_floor(self, rng):
+        p = MaxPooling1D(3)
+        assert p.build((10, 4), rng) == (3, 4)
+
+    def test_pool_size_one_is_identity(self, rng):
+        p = MaxPooling1D(1)
+        p.build((6, 2), rng)
+        x = rng.standard_normal((3, 6, 2))
+        np.testing.assert_array_equal(p.forward(x), x)
+
+    def test_forward_matches_naive(self, rng):
+        p = MaxPooling1D(2)
+        p.build((6, 2), rng)
+        x = rng.standard_normal((2, 6, 2))
+        out = p.forward(x)
+        ref = np.maximum(x[:, 0::2], x[:, 1::2])
+        np.testing.assert_allclose(out, ref)
+
+    def test_backward_routes_to_argmax(self, rng):
+        p = MaxPooling1D(2)
+        p.build((4, 1), rng)
+        x = np.array([[[1.0], [5.0], [2.0], [0.5]]])
+        p.forward(x)
+        g = p.backward(np.array([[[10.0], [20.0]]]))
+        np.testing.assert_array_equal(
+            g, np.array([[[0.0], [10.0], [20.0], [0.0]]]))
+
+    def test_backward_drops_remainder(self, rng):
+        p = MaxPooling1D(2)
+        p.build((5, 1), rng)
+        x = rng.standard_normal((1, 5, 1))
+        p.forward(x)
+        g = p.backward(np.ones((1, 2, 1)))
+        assert g[0, 4, 0] == 0.0  # truncated tail receives no gradient
+
+    def test_exhausted_length_raises(self, rng):
+        with pytest.raises(ValueError):
+            MaxPooling1D(10).build((5, 1), rng)
+
+
+class TestFlatten:
+    def test_roundtrip(self, rng):
+        f = Flatten()
+        assert f.build((4, 3), rng) == (12,)
+        x = rng.standard_normal((2, 4, 3))
+        out = f.forward(x)
+        assert out.shape == (2, 12)
+        back = f.backward(out)
+        np.testing.assert_array_equal(back, x)

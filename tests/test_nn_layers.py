@@ -1,0 +1,181 @@
+"""Unit tests for core layers: Dense, Activation, Dropout, Identity."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import (ACTIVATIONS, Activation, Dense, Dropout,
+                             Identity)
+from repro.nn.tensor import Parameter
+
+from helpers import assert_grad_matches
+
+
+def _built(layer, shape, rng):
+    layer.build(shape, rng)
+    return layer
+
+
+class TestDense:
+    def test_output_shape(self, rng):
+        d = _built(Dense(7, "relu"), (5,), rng)
+        assert d.output_shape == (7,)
+        out = d.forward(rng.standard_normal((3, 5)))
+        assert out.shape == (3, 7)
+
+    def test_param_count(self, rng):
+        d = _built(Dense(10, "relu"), (4,), rng)
+        assert d.num_params == (4 + 1) * 10
+
+    @pytest.mark.parametrize("act", ["relu", "tanh", "sigmoid", "linear",
+                                     "softmax"])
+    def test_gradcheck(self, act, rng):
+        d = _built(Dense(6, act), (4,), rng)
+        x = rng.standard_normal((5, 4))
+        w = rng.standard_normal((5, 6))  # random projection to scalar
+
+        def f():
+            return float(np.sum(d.forward(x) * w))
+
+        d.forward(x)
+        for p in d.parameters():
+            p.zero_grad()
+        d.backward(w)
+        assert_grad_matches(f, d.parameters(), rng)
+
+    def test_gradcheck_input(self, rng):
+        d = _built(Dense(6, "tanh"), (4,), rng)
+        x = rng.standard_normal((3, 4))
+        d.forward(x)
+        grad_in = d.backward(np.ones((3, 6)))
+        eps = 1e-6
+        xp = x.copy()
+        xp[1, 2] += eps
+        xm = x.copy()
+        xm[1, 2] -= eps
+        num = (d.forward(xp).sum() - d.forward(xm).sum()) / (2 * eps)
+        assert abs(num - grad_in[1, 2]) < 1e-6
+
+    def test_share_from_shares_arrays(self, rng):
+        a = _built(Dense(6, "relu"), (4,), rng)
+        b = Dense(6, "relu", share_from=a)
+        b.build((4,), rng)
+        assert b.w is a.w and b.b is a.b
+
+    def test_share_from_shape_mismatch(self, rng):
+        a = _built(Dense(6, "relu"), (4,), rng)
+        b = Dense(6, "relu", share_from=a)
+        with pytest.raises(ValueError):
+            b.build((5,), rng)
+
+    def test_share_from_unbuilt_raises(self, rng):
+        a = Dense(6, "relu")
+        b = Dense(6, "relu", share_from=a)
+        with pytest.raises(RuntimeError):
+            b.build((4,), rng)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            Dense(0)
+        with pytest.raises(ValueError):
+            Dense(5, "swish")
+
+    def test_rejects_rank2_input(self, rng):
+        with pytest.raises(ValueError):
+            Dense(3).build((4, 2), rng)
+
+    def test_softmax_rows_sum_to_one(self, rng):
+        d = _built(Dense(5, "softmax"), (4,), rng)
+        out = d.forward(rng.standard_normal((6, 4)))
+        np.testing.assert_allclose(out.sum(axis=1), 1.0)
+        assert (out >= 0).all()
+
+
+class TestActivation:
+    @pytest.mark.parametrize("act", ["relu", "tanh", "sigmoid", "linear"])
+    def test_matches_reference(self, act, rng):
+        a = _built(Activation(act), (4,), rng)
+        x = rng.standard_normal((3, 4))
+        fn, _ = ACTIVATIONS[act]
+        np.testing.assert_allclose(a.forward(x), fn(x))
+
+    @pytest.mark.parametrize("act", ["relu", "tanh", "sigmoid", "softmax"])
+    def test_backward_matches_numeric(self, act, rng):
+        a = _built(Activation(act), (4,), rng)
+        x = rng.standard_normal((3, 4)) + 0.1  # avoid relu kink
+        a.forward(x)
+        g = a.backward(np.ones((3, 4)))
+        eps = 1e-6
+        xp, xm = x.copy(), x.copy()
+        xp[0, 1] += eps
+        xm[0, 1] -= eps
+        num = (a.forward(xp).sum() - a.forward(xm).sum()) / (2 * eps)
+        assert abs(num - g[0, 1]) < 1e-6
+
+    def test_unknown_raises(self):
+        with pytest.raises(ValueError):
+            Activation("gelu")
+
+
+class TestDropout:
+    def test_eval_mode_is_identity(self, rng):
+        d = _built(Dropout(0.5), (8,), rng)
+        x = rng.standard_normal((4, 8))
+        np.testing.assert_array_equal(d.forward(x, training=False), x)
+
+    def test_training_zeroes_and_scales(self, rng):
+        d = _built(Dropout(0.5), (1000,), rng)
+        x = np.ones((2, 1000))
+        out = d.forward(x, training=True)
+        dropped = (out == 0).mean()
+        assert 0.35 < dropped < 0.65
+        kept = out[out != 0]
+        np.testing.assert_allclose(kept, 2.0)  # inverted scaling
+
+    def test_backward_uses_same_mask(self, rng):
+        d = _built(Dropout(0.3), (50,), rng)
+        x = np.ones((3, 50))
+        out = d.forward(x, training=True)
+        g = d.backward(np.ones_like(out))
+        np.testing.assert_array_equal((g == 0), (out == 0))
+
+    def test_zero_rate_passthrough(self, rng):
+        d = _built(Dropout(0.0), (5,), rng)
+        x = rng.standard_normal((2, 5))
+        np.testing.assert_array_equal(d.forward(x, training=True), x)
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+        with pytest.raises(ValueError):
+            Dropout(-0.1)
+
+    def test_mask_reproducible_from_build_rng(self):
+        x = np.ones((2, 100))
+        outs = []
+        for _ in range(2):
+            d = Dropout(0.5)
+            d.build((100,), np.random.default_rng(7))
+            outs.append(d.forward(x, training=True))
+        np.testing.assert_array_equal(outs[0], outs[1])
+
+
+class TestIdentity:
+    def test_passthrough_both_ways(self, rng):
+        layer = _built(Identity(), (4,), rng)
+        x = rng.standard_normal((3, 4))
+        np.testing.assert_array_equal(layer.forward(x), x)
+        np.testing.assert_array_equal(layer.backward(x), x)
+        assert layer.num_params == 0
+
+
+class TestParameter:
+    def test_zero_grad(self):
+        p = Parameter(np.ones((2, 3)))
+        p.grad += 5.0
+        p.zero_grad()
+        np.testing.assert_array_equal(p.grad, 0.0)
+
+    def test_size_and_shape(self):
+        p = Parameter(np.ones((2, 3)))
+        assert p.size == 6
+        assert p.shape == (2, 3)

@@ -1,0 +1,123 @@
+"""Unit tests for losses and metrics."""
+
+import numpy as np
+import pytest
+
+from repro.nn.losses import (CategoricalCrossentropy, MeanSquaredError,
+                             get_loss)
+from repro.nn.metrics import accuracy, get_metric, r2_score
+
+
+class TestMSE:
+    def test_value(self):
+        loss = MeanSquaredError()
+        assert loss.value(np.array([1.0, 2.0]), np.array([1.0, 4.0])) == 2.0
+
+    def test_zero_at_perfect(self):
+        loss = MeanSquaredError()
+        y = np.arange(5.0)
+        assert loss.value(y, y) == 0.0
+
+    def test_grad_matches_numeric(self, rng):
+        loss = MeanSquaredError()
+        p = rng.standard_normal((4, 2))
+        t = rng.standard_normal((4, 2))
+        g = loss.grad(p, t)
+        eps = 1e-6
+        pp, pm = p.copy(), p.copy()
+        pp[1, 0] += eps
+        pm[1, 0] -= eps
+        num = (loss.value(pp, t) - loss.value(pm, t)) / (2 * eps)
+        assert abs(num - g[1, 0]) < 1e-8
+
+
+class TestCrossentropy:
+    def test_perfect_prediction_near_zero(self):
+        loss = CategoricalCrossentropy()
+        t = np.array([[1.0, 0.0], [0.0, 1.0]])
+        assert loss.value(t, t) < 1e-9
+
+    def test_uniform_prediction(self):
+        loss = CategoricalCrossentropy()
+        p = np.full((4, 2), 0.5)
+        t = np.eye(2)[[0, 1, 0, 1]]
+        assert abs(loss.value(p, t) - np.log(2)) < 1e-12
+
+    def test_grad_matches_numeric(self, rng):
+        loss = CategoricalCrossentropy()
+        p = rng.random((3, 4)) + 0.1
+        p /= p.sum(axis=1, keepdims=True)
+        t = np.eye(4)[[0, 2, 3]]
+        g = loss.grad(p, t)
+        eps = 1e-7
+        pp, pm = p.copy(), p.copy()
+        pp[1, 2] += eps
+        pm[1, 2] -= eps
+        num = (loss.value(pp, t) - loss.value(pm, t)) / (2 * eps)
+        assert abs(num - g[1, 2]) < 1e-5
+
+    def test_clipping_avoids_infinities(self):
+        loss = CategoricalCrossentropy()
+        p = np.array([[0.0, 1.0]])
+        t = np.array([[1.0, 0.0]])
+        assert np.isfinite(loss.value(p, t))
+        assert np.isfinite(loss.grad(p, t)).all()
+
+
+class TestGetLoss:
+    def test_lookup(self):
+        assert isinstance(get_loss("mse"), MeanSquaredError)
+        assert isinstance(get_loss("categorical_crossentropy"),
+                          CategoricalCrossentropy)
+
+    def test_unknown(self):
+        with pytest.raises(ValueError):
+            get_loss("hinge")
+
+
+class TestR2:
+    def test_perfect(self):
+        y = np.arange(10.0)
+        assert r2_score(y, y) == 1.0
+
+    def test_mean_predictor_zero(self):
+        t = np.array([1.0, 2.0, 3.0])
+        p = np.full(3, 2.0)
+        assert abs(r2_score(p, t)) < 1e-12
+
+    def test_unbounded_below(self):
+        t = np.array([1.0, 2.0, 3.0])
+        p = np.array([100.0, -50.0, 7.0])
+        assert r2_score(p, t) < -1.0
+
+    def test_constant_target_returns_zero(self):
+        assert r2_score(np.array([1.0, 2.0]), np.array([3.0, 3.0])) == 0.0
+
+    def test_shape_agnostic(self):
+        t = np.arange(4.0)
+        assert r2_score(t[:, None], t) == 1.0
+
+
+class TestAccuracy:
+    def test_probability_input(self):
+        p = np.array([[0.9, 0.1], [0.2, 0.8], [0.6, 0.4]])
+        t = np.array([[1, 0], [0, 1], [0, 1]])
+        assert accuracy(p, t) == pytest.approx(2 / 3)
+
+    def test_label_input(self):
+        assert accuracy(np.array([0, 1, 1]), np.array([0, 1, 0])) == \
+            pytest.approx(2 / 3)
+
+    def test_perfect(self):
+        t = np.eye(3)
+        assert accuracy(t, t) == 1.0
+
+
+class TestGetMetric:
+    def test_lookup(self):
+        assert get_metric("r2") is r2_score
+        assert get_metric("accuracy") is accuracy
+
+    def test_unknown(self):
+        with pytest.raises(ValueError):
+            get_metric("f1")

@@ -1,0 +1,80 @@
+"""Unit tests for Concatenate and Add merge layers."""
+
+import numpy as np
+import pytest
+
+from repro.nn.merge import Add, Concatenate
+
+
+class TestConcatenate:
+    def test_widths_and_forward(self, rng):
+        c = Concatenate()
+        assert c.build_multi([(3,), (5,)], rng) == (8,)
+        a = rng.standard_normal((2, 3))
+        b = rng.standard_normal((2, 5))
+        out = c.forward_multi([a, b])
+        np.testing.assert_array_equal(out[:, :3], a)
+        np.testing.assert_array_equal(out[:, 3:], b)
+
+    def test_backward_splits(self, rng):
+        c = Concatenate()
+        c.build_multi([(3,), (5,)], rng)
+        g = rng.standard_normal((2, 8))
+        ga, gb = c.backward_multi(g)
+        np.testing.assert_array_equal(ga, g[:, :3])
+        np.testing.assert_array_equal(gb, g[:, 3:])
+
+    def test_single_input_passthrough(self, rng):
+        c = Concatenate()
+        c.build_multi([(4,)], rng)
+        x = rng.standard_normal((2, 4))
+        np.testing.assert_array_equal(c.forward_multi([x]), x)
+        [g] = c.backward_multi(x)
+        np.testing.assert_array_equal(g, x)
+
+    def test_rejects_rank2(self, rng):
+        with pytest.raises(ValueError):
+            Concatenate().build_multi([(3, 2)], rng)
+
+    def test_single_input_protocol(self, rng):
+        # merge layers degrade gracefully to the single-input Layer API
+        c = Concatenate()
+        c.build((4,), rng)
+        x = rng.standard_normal((2, 4))
+        np.testing.assert_array_equal(c.forward(x), x)
+        np.testing.assert_array_equal(c.backward(x), x)
+
+
+class TestAdd:
+    def test_equal_widths(self, rng):
+        m = Add()
+        assert m.build_multi([(4,), (4,)], rng) == (4,)
+        a = rng.standard_normal((3, 4))
+        b = rng.standard_normal((3, 4))
+        np.testing.assert_allclose(m.forward_multi([a, b]), a + b)
+
+    def test_zero_padding_alignment(self, rng):
+        m = Add()
+        assert m.build_multi([(2,), (5,)], rng) == (5,)
+        a = np.ones((1, 2))
+        b = np.ones((1, 5))
+        out = m.forward_multi([a, b])
+        np.testing.assert_array_equal(out, [[2, 2, 1, 1, 1]])
+
+    def test_backward_truncates_to_operand_width(self, rng):
+        m = Add()
+        m.build_multi([(2,), (5,)], rng)
+        m.forward_multi([np.ones((1, 2)), np.ones((1, 5))])
+        ga, gb = m.backward_multi(np.arange(5.0)[None, :])
+        np.testing.assert_array_equal(ga, [[0, 1]])
+        np.testing.assert_array_equal(gb, [[0, 1, 2, 3, 4]])
+
+    def test_three_operands(self, rng):
+        m = Add()
+        m.build_multi([(3,), (3,), (3,)], rng)
+        xs = [rng.standard_normal((2, 3)) for _ in range(3)]
+        np.testing.assert_allclose(m.forward_multi(xs), sum(xs))
+
+    def test_rejects_rank2(self, rng):
+        with pytest.raises(ValueError):
+            Add().build_multi([(3, 2)], rng)

@@ -1,0 +1,117 @@
+"""Unit tests for the LSTM cell, including multi-step BPTT gradchecks."""
+
+import numpy as np
+import pytest
+
+from repro.nn.recurrent import LSTMCell
+
+
+class TestShapesAndState:
+    def test_step_shapes(self, rng):
+        cell = LSTMCell(5, 8, rng)
+        h0, c0 = cell.initial_state(3)
+        h, c, cache = cell.step(rng.standard_normal((3, 5)), h0, c0)
+        assert h.shape == (3, 8) and c.shape == (3, 8)
+
+    def test_param_count(self, rng):
+        cell = LSTMCell(5, 8, rng)
+        assert cell.num_params == 5 * 32 + 8 * 32 + 32
+
+    def test_forget_bias_initialized_to_one(self, rng):
+        cell = LSTMCell(3, 4, rng)
+        np.testing.assert_array_equal(cell.b.value[4:8], 1.0)
+        np.testing.assert_array_equal(cell.b.value[:4], 0.0)
+
+    def test_initial_state_zero(self, rng):
+        cell = LSTMCell(3, 4, rng)
+        h, c = cell.initial_state(2)
+        assert not h.any() and not c.any()
+        assert h is not c
+
+    def test_invalid_sizes(self, rng):
+        with pytest.raises(ValueError):
+            LSTMCell(0, 4, rng)
+
+    def test_state_bounded(self, rng):
+        cell = LSTMCell(4, 6, rng)
+        h, c = cell.initial_state(2)
+        for _ in range(50):
+            h, c, _ = cell.step(rng.standard_normal((2, 4)) * 5, h, c)
+        assert np.abs(h).max() <= 1.0  # h = o * tanh(c), both bounded
+
+
+class TestBPTT:
+    def _rollout_loss(self, cell, xs):
+        h, c = cell.initial_state(xs[0].shape[0])
+        total = 0.0
+        for x in xs:
+            h, c, _ = cell.step(x, h, c)
+            total += h.sum()
+        return float(total)
+
+    def test_multistep_gradcheck(self, rng):
+        cell = LSTMCell(3, 4, rng)
+        xs = [rng.standard_normal((2, 3)) for _ in range(4)]
+
+        # analytic: forward with caches, then backward through time
+        h, c = cell.initial_state(2)
+        caches = []
+        for x in xs:
+            h, c, cache = cell.step(x, h, c)
+            caches.append(cache)
+        for p in cell.parameters():
+            p.zero_grad()
+        dh = np.ones((2, 4))
+        dc = np.zeros((2, 4))
+        for cache in reversed(caches):
+            _, dh_prev, dc_prev = cell.backward_step(dh, dc, cache)
+            dh = dh_prev + np.ones((2, 4))  # loss adds h.sum() at every step
+            dc = dc_prev
+
+        for p in cell.parameters():
+            idx = np.unravel_index(
+                int(np.argmax(np.abs(p.grad))), p.grad.shape)
+            eps = 1e-6
+            old = p.value[idx]
+            p.value[idx] = old + eps
+            fp = self._rollout_loss(cell, xs)
+            p.value[idx] = old - eps
+            fm = self._rollout_loss(cell, xs)
+            p.value[idx] = old
+            num = (fp - fm) / (2 * eps)
+            assert abs(num - p.grad[idx]) < 1e-5 * max(1.0, abs(num)), p.name
+
+    def test_input_gradient(self, rng):
+        cell = LSTMCell(3, 4, rng)
+        x = rng.standard_normal((2, 3))
+        h0, c0 = cell.initial_state(2)
+        h, c, cache = cell.step(x, h0, c0)
+        for p in cell.parameters():
+            p.zero_grad()
+        dx, _, _ = cell.backward_step(np.ones_like(h), np.zeros_like(c), cache)
+        eps = 1e-6
+        xp, xm = x.copy(), x.copy()
+        xp[0, 1] += eps
+        xm[0, 1] -= eps
+        hp, _, _ = cell.step(xp, h0, c0)
+        hm, _, _ = cell.step(xm, h0, c0)
+        num = (hp.sum() - hm.sum()) / (2 * eps)
+        assert abs(num - dx[0, 1]) < 1e-6
+
+    def test_carry_gradient(self, rng):
+        cell = LSTMCell(3, 4, rng)
+        x = rng.standard_normal((1, 3))
+        h0 = rng.standard_normal((1, 4)) * 0.1
+        c0 = rng.standard_normal((1, 4)) * 0.1
+        h, c, cache = cell.step(x, h0, c0)
+        _, dh_prev, dc_prev = cell.backward_step(
+            np.ones_like(h), np.zeros_like(c), cache)
+        eps = 1e-6
+        hp = h0.copy()
+        hp[0, 2] += eps
+        hm = h0.copy()
+        hm[0, 2] -= eps
+        yp, _, _ = cell.step(x, hp, c0)
+        ym, _, _ = cell.step(x, hm, c0)
+        num = (yp.sum() - ym.sum()) / (2 * eps)
+        assert abs(num - dh_prev[0, 2]) < 1e-6

@@ -1,0 +1,90 @@
+"""Unit tests for model weight save/load."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Concatenate, Dense, GraphModel
+from repro.nn.serialization import load_weights, save_weights
+
+
+def _model(seed=0):
+    rng = np.random.default_rng(seed)
+    m = GraphModel()
+    m.add_input("x", (4,))
+    m.add_input("y", (4,))
+    a = Dense(3, "tanh", name="enc")
+    m.add("a", a, ["x"])
+    m.add("b", Dense(3, "tanh", name="enc_mirror", share_from=a), ["y"])
+    m.add("cat", Concatenate(), ["a", "b"])
+    m.add("out", Dense(1, name="head"), ["cat"])
+    m.set_output("out")
+    return m.build(rng)
+
+
+class TestRoundtrip:
+    def test_save_load_restores_outputs(self, tmp_path, rng):
+        m1 = _model(seed=1)
+        path = tmp_path / "w.npz"
+        save_weights(m1, path)
+        m2 = _model(seed=2)  # different init
+        x = {"x": rng.standard_normal((3, 4)),
+             "y": rng.standard_normal((3, 4))}
+        assert not np.allclose(m1.forward(x), m2.forward(x))
+        load_weights(m2, path)
+        np.testing.assert_allclose(m1.forward(x), m2.forward(x))
+
+    def test_shared_params_saved_once(self, tmp_path):
+        m = _model()
+        path = tmp_path / "w.npz"
+        save_weights(m, path)
+        with np.load(path) as data:
+            # embedding shared between a and b: 2 params + head's 2
+            assert len(data.files) == 4
+
+    def test_unbuilt_model_rejected(self, tmp_path):
+        m = GraphModel()
+        m.add_input("x", (4,))
+        m.add("a", Dense(3), ["x"])
+        m.set_output("a")
+        with pytest.raises(ValueError):
+            save_weights(m, tmp_path / "w.npz")
+        with pytest.raises(ValueError):
+            load_weights(m, tmp_path / "w.npz")
+
+    def test_shape_mismatch_rejected(self, tmp_path):
+        m1 = _model()
+        path = tmp_path / "w.npz"
+        save_weights(m1, path)
+        rng = np.random.default_rng(0)
+        m2 = GraphModel()
+        m2.add_input("x", (4,))
+        m2.add("a", Dense(5, name="enc"), ["x"])
+        m2.set_output("a")
+        m2.build(rng)
+        with pytest.raises((ValueError, KeyError)):
+            load_weights(m2, path)
+
+    def test_missing_param_rejected(self, tmp_path):
+        m = _model()
+        path = tmp_path / "w.npz"
+        save_weights(m, path)
+        rng = np.random.default_rng(0)
+        m2 = GraphModel()
+        m2.add_input("x", (4,))
+        m2.add("a", Dense(3, name="other"), ["x"])
+        m2.set_output("a")
+        m2.build(rng)
+        with pytest.raises(KeyError):
+            load_weights(m2, path)
+
+    def test_nas_model_roundtrip(self, tmp_path, small_combo, rng):
+        arch = small_combo.space.random_architecture(rng)
+        m1 = small_combo.build_model(arch.choices,
+                                     np.random.default_rng(1))
+        path = tmp_path / "nas.npz"
+        save_weights(m1, path)
+        m2 = small_combo.build_model(arch.choices,
+                                     np.random.default_rng(2))
+        load_weights(m2, path)
+        x = {k: v[:3] for k, v in small_combo.dataset.x_train.items()}
+        np.testing.assert_allclose(m1.forward(x), m2.forward(x))

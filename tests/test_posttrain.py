@@ -1,0 +1,78 @@
+"""Unit tests for the post-training harness."""
+
+import numpy as np
+import pytest
+
+from repro.hpc.costmodel import TrainingCostModel
+from repro.posttrain import post_train
+
+
+class TestPostTrain:
+    def test_entries_and_baseline(self, small_combo):
+        rng = np.random.default_rng(0)
+        archs = [small_combo.space.random_architecture(rng) for _ in range(3)]
+        rep = post_train(small_combo, archs, epochs=4)
+        assert len(rep.entries) == 3
+        assert rep.baseline_params == small_combo.baseline_params()
+        assert rep.baseline_time > 0
+        for e in rep.entries:
+            assert e.params == small_combo.count_params(e.arch.choices)
+            assert e.params_ratio == pytest.approx(
+                rep.baseline_params / e.params)
+            assert e.accuracy_ratio == pytest.approx(
+                e.metric / rep.baseline_metric)
+            assert e.time_ratio > 0
+
+    def test_time_model_makes_time_deterministic(self, small_combo):
+        rng = np.random.default_rng(0)
+        archs = [small_combo.space.random_architecture(rng)]
+        cm = TrainingCostModel(samples_per_epoch=1000, startup=1.0)
+        r1 = post_train(small_combo, archs, epochs=2, time_model=cm)
+        r2 = post_train(small_combo, archs, epochs=2, time_model=cm)
+        assert r1.entries[0].train_time == r2.entries[0].train_time
+        assert r1.baseline_time == cm.duration(r1.baseline_params, epochs=2)
+
+    def test_time_ratio_tracks_params_under_model(self, small_combo):
+        """With the cost model, smaller networks are proportionally
+        faster — the paper's P/T coupling."""
+        rng = np.random.default_rng(1)
+        archs = [small_combo.space.random_architecture(rng)
+                 for _ in range(4)]
+        cm = TrainingCostModel(samples_per_epoch=1000, startup=0.0)
+        rep = post_train(small_combo, archs, epochs=2, time_model=cm)
+        for e in rep.entries:
+            assert e.time_ratio == pytest.approx(e.params_ratio)
+
+    def test_counters(self, small_combo):
+        rng = np.random.default_rng(2)
+        archs = [small_combo.space.random_architecture(rng)
+                 for _ in range(4)]
+        rep = post_train(small_combo, archs, epochs=3)
+        assert 0 <= rep.num_outperforming <= 4
+        assert rep.num_competitive(0.0) == sum(
+            1 for e in rep.entries if e.accuracy_ratio > 0.0)
+        assert 0 <= rep.num_smaller <= 4
+        assert 0 <= rep.num_faster <= 4
+
+    def test_best_and_summary_rows(self, small_combo):
+        rng = np.random.default_rng(3)
+        archs = [small_combo.space.random_architecture(rng)
+                 for _ in range(2)]
+        rep = post_train(small_combo, archs, epochs=3)
+        best = rep.best()
+        assert best.metric == max(e.metric for e in rep.entries)
+        rows = rep.summary_rows()
+        assert rows[0]["network"] == "manually designed"
+        assert rows[1]["params"] == best.params
+
+    def test_empty_archs_best_raises(self, small_combo):
+        rep = post_train(small_combo, [], epochs=1)
+        with pytest.raises(ValueError):
+            rep.best()
+
+    def test_deterministic_metrics(self, small_combo):
+        rng = np.random.default_rng(4)
+        archs = [small_combo.space.random_architecture(rng)]
+        m1 = post_train(small_combo, archs, epochs=2).entries[0].metric
+        m2 = post_train(small_combo, archs, epochs=2).entries[0].metric
+        assert m1 == m2

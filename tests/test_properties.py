@@ -1,0 +1,188 @@
+"""Property-based tests (hypothesis) on core invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hpc.cluster import Cluster
+from repro.hpc.costmodel import TrainingCostModel
+from repro.hpc.sim import Simulator, Timeout
+from repro.nas.arch import Architecture
+from repro.nas.builder import compile_architecture
+from repro.nas.ops import DenseOp
+from repro.nas.spaces import combo_small, nt3_small, uno_small
+from repro.nn.layers import Dense
+from repro.nn.merge import Add, Concatenate
+from repro.nn.metrics import accuracy, r2_score
+
+COMBO = combo_small(scale=0.02)
+UNO = uno_small(scale=0.02)
+NT3 = nt3_small(scale=0.05)
+COMBO_SHAPES = {"cell_expression": (12,), "drug1_descriptors": (14,),
+                "drug2_descriptors": (14,)}
+UNO_SHAPES = {"cell_rnaseq": (12,), "dose": (1,), "drug_descriptors": (14,),
+              "drug_fingerprints": (8,)}
+NT3_SHAPES = {"rnaseq_expression": (80, 1)}
+HEAD = [DenseOp(1, "linear")]
+
+
+def choices_strategy(space):
+    return st.tuples(*[st.integers(0, n.num_ops - 1)
+                       for n in space.variable_nodes])
+
+
+class TestSpaceProperties:
+    @given(choices_strategy(COMBO))
+    @settings(max_examples=40, deadline=None)
+    def test_combo_decode_roundtrip(self, choices):
+        arch = COMBO.decode(choices)
+        assert arch.choices == tuple(choices)
+        assert COMBO.decode(arch.choices) == arch
+
+    @given(choices_strategy(COMBO))
+    @settings(max_examples=25, deadline=None)
+    def test_combo_plan_invariants(self, choices):
+        plan = compile_architecture(COMBO, choices, COMBO_SHAPES, HEAD)
+        assert plan.total_params > 0           # the head always has params
+        assert plan.output_shape == (1,)
+        assert plan.depth >= 1
+        names = [n.name for n in plan.nodes]
+        assert len(names) == len(set(names))   # unique plan-node names
+
+    @given(choices_strategy(UNO))
+    @settings(max_examples=25, deadline=None)
+    def test_uno_plan_invariants(self, choices):
+        plan = compile_architecture(UNO, choices, UNO_SHAPES, HEAD)
+        assert plan.total_params > 0
+        assert plan.output_shape == (1,)
+
+    @given(choices_strategy(NT3))
+    @settings(max_examples=25, deadline=None)
+    def test_nt3_every_arch_compiles_at_sufficient_length(self, choices):
+        plan = compile_architecture(
+            NT3, choices, NT3_SHAPES, [DenseOp(2, "softmax")])
+        assert plan.output_shape == (2,)
+
+    @given(choices_strategy(COMBO))
+    @settings(max_examples=25, deadline=None)
+    def test_plan_matches_materialized_model(self, choices):
+        plan = compile_architecture(COMBO, choices, COMBO_SHAPES, HEAD)
+        model = plan.materialize(np.random.default_rng(0))
+        assert model.num_params == plan.total_params
+        x = {k: np.zeros((2,) + s) for k, s in COMBO_SHAPES.items()}
+        assert model.forward(x).shape == (2, 1)
+
+    @given(st.lists(st.integers(0, 1000), min_size=1, max_size=8))
+    @settings(max_examples=30, deadline=None)
+    def test_architecture_hash_consistency(self, choices):
+        a = Architecture("s", tuple(choices))
+        b = Architecture("s", tuple(choices))
+        assert a == b and hash(a) == hash(b) and a.key == b.key
+
+
+class TestMetricProperties:
+    @given(st.lists(st.floats(-10, 10), min_size=2, max_size=50))
+    @settings(max_examples=50, deadline=None)
+    def test_r2_of_exact_prediction_is_one_or_zero(self, ys):
+        y = np.array(ys)
+        r = r2_score(y, y)
+        assert r == 1.0 or (r == 0.0 and np.allclose(y, y[0]))
+
+    @given(st.lists(st.floats(-5, 5), min_size=3, max_size=40),
+           st.floats(-5, 5))
+    @settings(max_examples=50, deadline=None)
+    def test_r2_constant_predictor_at_most_zero(self, ys, c):
+        y = np.array(ys)
+        if np.allclose(y, y[0]):
+            return
+        assert r2_score(np.full_like(y, c), y) <= 1e-12
+
+    @given(st.integers(2, 6), st.integers(1, 30))
+    @settings(max_examples=30, deadline=None)
+    def test_accuracy_bounds(self, classes, n):
+        rng = np.random.default_rng(n)
+        pred = rng.random((n, classes))
+        target = np.eye(classes)[rng.integers(classes, size=n)]
+        assert 0.0 <= accuracy(pred, target) <= 1.0
+
+
+class TestMergeProperties:
+    @given(st.lists(st.integers(1, 12), min_size=1, max_size=5))
+    @settings(max_examples=30, deadline=None)
+    def test_concat_width_is_sum(self, widths):
+        c = Concatenate()
+        out = c.build_multi([(w,) for w in widths],
+                            np.random.default_rng(0))
+        assert out == (sum(widths),)
+        xs = [np.ones((2, w)) for w in widths]
+        assert c.forward_multi(xs).shape == (2, sum(widths))
+        grads = c.backward_multi(np.ones((2, sum(widths))))
+        assert [g.shape[1] for g in grads] == widths
+
+    @given(st.lists(st.integers(1, 12), min_size=1, max_size=5))
+    @settings(max_examples=30, deadline=None)
+    def test_add_width_is_max(self, widths):
+        a = Add()
+        out = a.build_multi([(w,) for w in widths],
+                            np.random.default_rng(0))
+        assert out == (max(widths),)
+
+
+class TestSimProperties:
+    @given(st.lists(st.floats(0.0, 100.0), min_size=1, max_size=20))
+    @settings(max_examples=30, deadline=None)
+    def test_clock_monotonic(self, delays):
+        sim = Simulator()
+        seen = []
+
+        def proc(d):
+            yield Timeout(d)
+            seen.append(sim.now)
+
+        for d in delays:
+            sim.process(proc(d))
+        sim.run()
+        assert seen == sorted(seen)
+        assert sim.now == max(delays)
+
+    @given(st.integers(1, 6), st.lists(
+        st.tuples(st.floats(0, 10), st.floats(0.1, 20)),
+        min_size=1, max_size=15))
+    @settings(max_examples=30, deadline=None)
+    def test_cluster_utilization_in_unit_interval(self, nodes, jobs):
+        sim = Simulator()
+        c = Cluster(sim, nodes)
+
+        def job(start, hold):
+            yield Timeout(start)
+            yield c.acquire()
+            yield Timeout(hold)
+            c.release()
+
+        for start, hold in jobs:
+            sim.process(job(start, hold))
+        sim.run()
+        end = max(sim.now, 1e-9)
+        assert 0.0 <= c.mean_utilization(end) <= 1.0 + 1e-12
+        assert c.busy == 0  # every job released its node
+
+    @given(st.integers(0, 10_000_000), st.integers(1, 20),
+           st.floats(0.01, 1.0))
+    @settings(max_examples=50, deadline=None)
+    def test_cost_model_monotone(self, params, epochs, fraction):
+        cm = TrainingCostModel(samples_per_epoch=1000)
+        d = cm.duration(params, epochs, fraction)
+        assert d >= cm.startup
+        assert cm.duration(params + 1000, epochs, fraction) >= d
+
+
+class TestDenseProperties:
+    @given(st.integers(1, 16), st.integers(1, 16), st.integers(1, 8))
+    @settings(max_examples=30, deadline=None)
+    def test_param_count_formula(self, d_in, units, batch):
+        rng = np.random.default_rng(0)
+        layer = Dense(units)
+        layer.build((d_in,), rng)
+        assert layer.num_params == (d_in + 1) * units
+        out = layer.forward(np.zeros((batch, d_in)))
+        assert out.shape == (batch, units)

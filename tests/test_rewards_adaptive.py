@@ -1,0 +1,80 @@
+"""Tests for adaptive-fidelity reward estimation (§7 extension)."""
+
+import numpy as np
+import pytest
+
+from repro.hpc import TrainingCostModel
+from repro.nas.arch import Architecture
+from repro.nas.spaces import combo_small
+from repro.problems.combo import COMBO_PAPER_SHAPES, combo_head
+from repro.rewards import AdaptiveFidelityReward, SurrogateReward
+from repro.rewards.base import EvalResult, RewardModel
+
+
+class FractionEcho(RewardModel):
+    """Returns the train_fraction it was asked for as the reward."""
+
+    def evaluate(self, arch, agent_seed=0, train_fraction=None):
+        return EvalResult(train_fraction, 1.0, 10)
+
+
+ARCH = Architecture("s", (0,))
+SCHEDULE = [(0, 0.1), (3, 0.2), (6, 0.4)]
+
+
+class TestSchedule:
+    def test_fraction_progresses(self):
+        rm = AdaptiveFidelityReward(FractionEcho(), SCHEDULE)
+        fractions = [rm.evaluate(ARCH).reward for _ in range(8)]
+        assert fractions == [0.1, 0.1, 0.1, 0.2, 0.2, 0.2, 0.4, 0.4]
+
+    def test_current_fraction_reflects_count(self):
+        rm = AdaptiveFidelityReward(FractionEcho(), SCHEDULE)
+        assert rm.current_fraction() == 0.1
+        for _ in range(6):
+            rm.evaluate(ARCH)
+        assert rm.current_fraction() == 0.4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdaptiveFidelityReward(FractionEcho(), [])
+        with pytest.raises(ValueError):
+            AdaptiveFidelityReward(FractionEcho(), [(5, 0.1)])  # not at 0
+        with pytest.raises(ValueError):
+            AdaptiveFidelityReward(FractionEcho(),
+                                   [(0, 0.2), (5, 0.1)])  # decreasing
+        with pytest.raises(ValueError):
+            AdaptiveFidelityReward(FractionEcho(),
+                                   [(0, 0.1), (0, 0.2)])  # same threshold
+        with pytest.raises(ValueError):
+            AdaptiveFidelityReward(FractionEcho(), [(0, 1.5)])
+
+
+class TestWithSurrogate:
+    def test_fidelity_changes_duration_and_timeouts(self):
+        space = combo_small()
+        base = SurrogateReward(space, COMBO_PAPER_SHAPES, combo_head(),
+                               TrainingCostModel.combo_paper(),
+                               train_fraction=0.1, timeout=600.0, seed=1)
+        rm = AdaptiveFidelityReward(base, [(0, 0.1), (2, 1.0)])
+        big = space.decode([9] * 9 + [0] + [9] * 3)  # ~17M params
+        first = rm.evaluate(big)
+        rm.evaluate(big)
+        third = rm.evaluate(big)  # now at fraction 1.0
+        assert not first.timed_out
+        assert third.timed_out
+        assert third.duration >= first.duration
+
+    def test_search_runs_with_adaptive_reward(self):
+        from repro.hpc import NodeAllocation
+        from repro.search import SearchConfig, run_search
+        space = combo_small()
+        base = SurrogateReward(space, COMBO_PAPER_SHAPES, combo_head(),
+                               TrainingCostModel.combo_paper(),
+                               train_fraction=0.1, timeout=600.0, seed=1)
+        rm = AdaptiveFidelityReward(base, [(0, 0.1), (100, 0.4)])
+        cfg = SearchConfig(method="a3c", allocation=NodeAllocation(32, 4, 3),
+                           wall_time=60 * 60, seed=2)
+        res = run_search(space, rm, cfg)
+        assert res.num_evaluations > 100
+        assert rm.current_fraction() == 0.4

@@ -1,0 +1,74 @@
+"""Unit tests for the multi-objective composite reward."""
+
+import pytest
+
+from repro.nas.arch import Architecture
+from repro.rewards import CompositeReward
+from repro.rewards.base import EvalResult, RewardModel
+
+
+class Stub(RewardModel):
+    def __init__(self, reward=0.8, params=10_000_000, duration=600.0):
+        self._res = EvalResult(reward, duration, params)
+
+    def evaluate(self, arch, agent_seed=0):
+        return self._res
+
+
+ARCH = Architecture("s", (0,))
+
+
+class TestCompositeReward:
+    def test_no_weights_is_identity(self):
+        base = Stub()
+        cr = CompositeReward(base)
+        assert cr.evaluate(ARCH) == base.evaluate(ARCH)
+
+    def test_params_penalty_above_target(self):
+        cr = CompositeReward(Stub(params=10_000_000),
+                             params_weight=0.1, params_target=1_000_000)
+        # one decade over target: penalty 0.1
+        assert cr.evaluate(ARCH).reward == pytest.approx(0.7)
+
+    def test_no_penalty_below_target(self):
+        cr = CompositeReward(Stub(params=500_000),
+                             params_weight=0.1, params_target=1_000_000)
+        assert cr.evaluate(ARCH).reward == pytest.approx(0.8)
+
+    def test_time_penalty(self):
+        cr = CompositeReward(Stub(duration=600.0),
+                             time_weight=0.2, time_target=60.0)
+        assert cr.evaluate(ARCH).reward == pytest.approx(0.8 - 0.2)
+
+    def test_combined_penalties(self):
+        cr = CompositeReward(Stub(params=10_000_000, duration=600.0),
+                             params_weight=0.1, params_target=1_000_000,
+                             time_weight=0.2, time_target=60.0)
+        assert cr.evaluate(ARCH).reward == pytest.approx(0.8 - 0.1 - 0.2)
+
+    def test_accuracy_floor_bypasses_penalties(self):
+        cr = CompositeReward(Stub(reward=0.1, params=10_000_000),
+                             params_weight=1.0, params_target=1.0,
+                             accuracy_floor=0.5)
+        assert cr.evaluate(ARCH).reward == pytest.approx(0.1)
+
+    def test_metadata_passthrough(self):
+        base = Stub(params=123, duration=4.5)
+        cr = CompositeReward(base, params_weight=0.1)
+        res = cr.evaluate(ARCH)
+        assert res.params == 123 and res.duration == 4.5
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            CompositeReward(Stub(), params_weight=-1.0)
+        with pytest.raises(ValueError):
+            CompositeReward(Stub(), params_target=0.0)
+
+    def test_steers_ranking_toward_small(self):
+        """Two equal-accuracy architectures: the smaller one wins under a
+        parameter penalty — the paper's fixed-accuracy size objective."""
+        big = Stub(reward=0.8, params=20_000_000)
+        small = Stub(reward=0.8, params=1_000_000)
+        kwargs = dict(params_weight=0.2, params_target=1_000_000)
+        assert CompositeReward(small, **kwargs).evaluate(ARCH).reward > \
+            CompositeReward(big, **kwargs).evaluate(ARCH).reward

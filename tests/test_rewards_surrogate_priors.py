@@ -1,0 +1,74 @@
+"""Tests for the surrogate's trainability priors and fraction override."""
+
+import numpy as np
+import pytest
+
+from repro.hpc import TrainingCostModel
+from repro.nas.ops import (ActivationOp, AddOp, ConnectOp, Conv1DOp,
+                           DenseOp, DropoutOp, IdentityOp, MaxPooling1DOp)
+from repro.nas.spaces import combo_small
+from repro.problems.combo import COMBO_PAPER_SHAPES, combo_head
+from repro.rewards import SurrogateReward
+from repro.rewards.surrogate import op_prior
+
+
+class TestOpPrior:
+    def test_relu_beats_sigmoid(self):
+        assert op_prior(DenseOp(100, "relu")) > op_prior(
+            DenseOp(100, "sigmoid"))
+        assert op_prior(ActivationOp("relu")) > op_prior(
+            ActivationOp("sigmoid"))
+
+    def test_light_dropout_beats_heavy(self):
+        assert op_prior(DropoutOp(0.05)) > op_prior(DropoutOp(0.2)) > \
+            op_prior(DropoutOp(0.5))
+
+    def test_conv_and_pool_positive(self):
+        assert op_prior(Conv1DOp(3)) > 0
+        assert op_prior(MaxPooling1DOp(3)) > 0
+
+    def test_identity_and_add_neutral(self):
+        assert op_prior(IdentityOp()) == 0.0
+        assert op_prior(AddOp()) == 0.0
+
+    def test_connect_null_neutral_refs_positive(self):
+        assert op_prior(ConnectOp()) == 0.0
+        assert op_prior(ConnectOp("x")) > 0.0
+
+    def test_priors_shift_affinity_means(self):
+        """Across landscape seeds, the relu-Dense option should average a
+        higher affinity than the sigmoid-Dense option at the same node."""
+        space = combo_small()
+        cm = TrainingCostModel.combo_paper()
+        relu_idx, sig_idx = 1, 3  # Dense(100, relu) / Dense(100, sigmoid)
+        relu_vals, sig_vals = [], []
+        for seed in range(20):
+            rm = SurrogateReward(space, COMBO_PAPER_SHAPES, combo_head(),
+                                 cm, seed=seed)
+            relu_vals.append(rm._affinity[0][relu_idx])
+            sig_vals.append(rm._affinity[0][sig_idx])
+        assert np.mean(relu_vals) > np.mean(sig_vals)
+
+
+class TestFractionOverride:
+    @pytest.fixture(scope="class")
+    def rm(self):
+        return SurrogateReward(combo_small(), COMBO_PAPER_SHAPES,
+                               combo_head(), TrainingCostModel.combo_paper(),
+                               train_fraction=0.1, timeout=None, seed=3)
+
+    def test_override_changes_duration(self, rm):
+        arch = rm.space.decode([1] * 9 + [0] + [1] * 3)
+        d_small = rm.evaluate(arch, train_fraction=0.1).duration
+        d_big = rm.evaluate(arch, train_fraction=0.8).duration
+        assert d_big > d_small
+
+    def test_override_changes_fidelity_bonus(self, rm):
+        arch = rm.space.decode([1] * 9 + [0] + [1] * 3)
+        r_small = rm.evaluate(arch, train_fraction=0.1).reward
+        r_big = rm.evaluate(arch, train_fraction=0.8).reward
+        assert r_big > r_small  # same noise key, higher fidelity bonus
+
+    def test_none_uses_configured_fraction(self, rm):
+        arch = rm.space.decode([1] * 9 + [0] + [1] * 3)
+        assert rm.evaluate(arch) == rm.evaluate(arch, train_fraction=0.1)

@@ -1,0 +1,132 @@
+"""Unit tests for the synchronous/asynchronous parameter server."""
+
+import numpy as np
+import pytest
+
+from repro.hpc.sim import Simulator, Timeout
+from repro.rl.parameter_server import ParameterServer
+
+
+class TestAsync:
+    def test_returns_average_of_recent(self):
+        ps = ParameterServer(Simulator(), num_agents=4, mode="async",
+                             staleness_window=2)
+        np.testing.assert_allclose(ps.push_async(np.array([1.0])), [1.0])
+        np.testing.assert_allclose(ps.push_async(np.array([3.0])), [2.0])
+        # window of 2: the first push falls out
+        np.testing.assert_allclose(ps.push_async(np.array([5.0])), [4.0])
+
+    def test_default_window_half_agents(self):
+        ps = ParameterServer(Simulator(), num_agents=8, mode="async")
+        assert ps._recent.maxlen == 4
+
+    def test_sync_call_rejected(self):
+        ps = ParameterServer(Simulator(), num_agents=2, mode="async")
+        with pytest.raises(RuntimeError):
+            ps.push_sync(np.zeros(1))
+
+
+class TestSync:
+    def test_barrier_releases_with_average(self):
+        sim = Simulator()
+        ps = ParameterServer(sim, num_agents=3, mode="sync", latency=0.0)
+        got = []
+
+        def agent(value):
+            avg = yield ps.push_sync(np.array([value]))
+            got.append(float(avg[0]))
+
+        for v in (1.0, 2.0, 6.0):
+            sim.process(agent(v))
+        sim.run()
+        assert got == [3.0, 3.0, 3.0]
+        assert ps.num_rounds == 1
+
+    def test_barrier_waits_for_slowest(self):
+        sim = Simulator()
+        ps = ParameterServer(sim, num_agents=2, mode="sync", latency=0.0)
+        release_times = []
+
+        def agent(delay, value):
+            yield Timeout(delay)
+            yield ps.push_sync(np.array([value]))
+            release_times.append(sim.now)
+
+        sim.process(agent(1.0, 1.0))
+        sim.process(agent(10.0, 2.0))
+        sim.run()
+        assert release_times == [10.0, 10.0]
+
+    def test_multiple_rounds(self):
+        sim = Simulator()
+        ps = ParameterServer(sim, num_agents=2, mode="sync", latency=0.0)
+        got = []
+
+        def agent(value):
+            for i in range(3):
+                avg = yield ps.push_sync(np.array([value + i]))
+                got.append(float(avg[0]))
+
+        sim.process(agent(0.0))
+        sim.process(agent(10.0))
+        sim.run()
+        assert ps.num_rounds == 3
+        assert got.count(5.0) == 2 and got.count(6.0) == 2
+
+    def test_deregister_shrinks_barrier(self):
+        sim = Simulator()
+        ps = ParameterServer(sim, num_agents=2, mode="sync", latency=0.0)
+        got = []
+
+        def leaver():
+            yield Timeout(1.0)
+            ps.deregister()
+
+        def stayer():
+            yield Timeout(2.0)
+            avg = yield ps.push_sync(np.array([7.0]))
+            got.append(float(avg[0]))
+
+        sim.process(leaver())
+        sim.process(stayer())
+        sim.run()
+        assert got == [7.0]  # barrier of one
+
+    def test_deregister_releases_pending_waiters(self):
+        sim = Simulator()
+        ps = ParameterServer(sim, num_agents=2, mode="sync", latency=0.0)
+        got = []
+
+        def pusher():
+            avg = yield ps.push_sync(np.array([4.0]))
+            got.append(float(avg[0]))
+
+        def leaver():
+            yield Timeout(5.0)
+            ps.deregister()
+
+        sim.process(pusher())
+        sim.process(leaver())
+        sim.run()
+        assert got == [4.0]
+
+    def test_async_call_rejected(self):
+        ps = ParameterServer(Simulator(), num_agents=2, mode="sync")
+        with pytest.raises(RuntimeError):
+            ps.push_async(np.zeros(1))
+
+    def test_over_deregister_rejected(self):
+        ps = ParameterServer(Simulator(), num_agents=1, mode="sync")
+        ps.deregister()
+        with pytest.raises(RuntimeError):
+            ps.deregister()
+
+
+class TestValidation:
+    def test_bad_mode(self):
+        with pytest.raises(ValueError):
+            ParameterServer(Simulator(), 2, mode="semi")
+
+    def test_bad_agents(self):
+        with pytest.raises(ValueError):
+            ParameterServer(Simulator(), 0)

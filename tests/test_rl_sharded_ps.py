@@ -1,0 +1,139 @@
+"""Tests for the timed and sharded parameter servers (§7 extension)."""
+
+import numpy as np
+import pytest
+
+from repro.hpc.sim import Simulator, Timeout
+from repro.rl import ParameterServer, ShardedParameterServer
+
+
+class TestTimedPush:
+    def test_service_time_delays_response(self):
+        sim = Simulator()
+        ps = ParameterServer(sim, num_agents=2, mode="async",
+                             service_time=5.0)
+        got = []
+
+        def agent():
+            avg = yield ps.push_async_timed(np.array([2.0]))
+            got.append((sim.now, float(avg[0])))
+
+        sim.process(agent())
+        sim.run()
+        assert got == [(5.0, 2.0)]
+
+    def test_pushes_queue_fifo(self):
+        sim = Simulator()
+        ps = ParameterServer(sim, num_agents=3, mode="async",
+                             service_time=10.0, staleness_window=3)
+        done = []
+
+        def agent(value):
+            avg = yield ps.push_async_timed(np.array([value]))
+            done.append((sim.now, float(avg[0])))
+
+        for v in (1.0, 2.0, 3.0):
+            sim.process(agent(v))
+        sim.run()
+        # serialized: completions at 10, 20, 30 with running averages
+        assert done == [(10.0, 1.0), (20.0, 1.5), (30.0, 2.0)]
+
+    def test_queue_delay_reflects_backlog(self):
+        sim = Simulator()
+        ps = ParameterServer(sim, num_agents=2, mode="async",
+                             service_time=10.0)
+
+        def agent():
+            ps.push_async_timed(np.array([1.0]))
+            ps.push_async_timed(np.array([1.0]))
+            assert ps.queue_delay == 20.0
+            yield Timeout(0.0)
+
+        sim.process(agent())
+        sim.run()
+
+    def test_sync_mode_rejects_timed_push(self):
+        ps = ParameterServer(Simulator(), 2, mode="sync")
+        with pytest.raises(RuntimeError):
+            ps.push_async_timed(np.zeros(1))
+
+    def test_negative_service_time_rejected(self):
+        with pytest.raises(ValueError):
+            ParameterServer(Simulator(), 2, service_time=-1.0)
+
+
+class TestShardedServer:
+    def test_zero_cost_push_matches_single_server(self):
+        sim = Simulator()
+        single = ParameterServer(sim, 4, mode="async", staleness_window=2)
+        sharded = ShardedParameterServer(sim, 4, vector_size=6,
+                                         num_shards=3, staleness_window=2)
+        rng = np.random.default_rng(0)
+        for _ in range(5):
+            delta = rng.standard_normal(6)
+            np.testing.assert_allclose(single.push_async(delta),
+                                       sharded.push_async(delta))
+
+    def test_shard_boundaries_cover_vector(self):
+        ps = ShardedParameterServer(Simulator(), 2, vector_size=10,
+                                    num_shards=3)
+        assert ps.boundaries[0] == 0 and ps.boundaries[-1] == 10
+        assert len(ps.boundaries) == 4
+
+    def test_wrong_vector_size_rejected(self):
+        ps = ShardedParameterServer(Simulator(), 2, vector_size=10,
+                                    num_shards=2)
+        with pytest.raises(ValueError):
+            ps.push_async(np.zeros(9))
+
+    def test_sharding_parallelizes_service(self):
+        """One full-vector push: k shards finish in service_time/k."""
+        sim = Simulator()
+        ps = ShardedParameterServer(sim, 2, vector_size=8, num_shards=4,
+                                    service_time=20.0)
+        done = []
+
+        def agent():
+            avg = yield ps.push_async_timed(np.ones(8))
+            done.append((sim.now, avg.shape))
+
+        sim.process(agent())
+        sim.run()
+        assert done == [(5.0, (8,))]
+
+    def test_invalid_ctor(self):
+        with pytest.raises(ValueError):
+            ShardedParameterServer(Simulator(), 2, vector_size=2,
+                                   num_shards=4)
+        with pytest.raises(ValueError):
+            ShardedParameterServer(Simulator(), 2, vector_size=4,
+                                   num_shards=0)
+
+
+class TestSearchIntegration:
+    def test_ps_contention_reduces_throughput(self):
+        from repro.hpc import NodeAllocation, TrainingCostModel
+        from repro.nas.spaces import combo_small
+        from repro.problems.combo import COMBO_PAPER_SHAPES, combo_head
+        from repro.rewards import SurrogateReward
+        from repro.search import SearchConfig, run_search
+
+        space = combo_small()
+
+        def rm():
+            return SurrogateReward(space, COMBO_PAPER_SHAPES, combo_head(),
+                                   TrainingCostModel.combo_paper(),
+                                   train_fraction=0.1, timeout=600.0, seed=7)
+
+        alloc = NodeAllocation(64, 8, 4)
+        results = {}
+        for label, st, shards in (("free", 0.0, 1), ("busy", 60.0, 1),
+                                  ("sharded", 60.0, 4)):
+            cfg = SearchConfig(method="a3c", allocation=alloc,
+                               wall_time=60 * 60, seed=1,
+                               ps_service_time=st, ps_shards=shards)
+            results[label] = run_search(space, rm(), cfg)
+        assert results["busy"].num_evaluations < \
+            results["free"].num_evaluations
+        assert results["sharded"].num_evaluations > \
+            results["busy"].num_evaluations

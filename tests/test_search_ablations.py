@@ -1,0 +1,92 @@
+"""Tests for the search ablation knobs and failure handling."""
+
+import numpy as np
+import pytest
+
+from repro.hpc import NodeAllocation, TrainingCostModel
+from repro.nas.spaces import combo_small, nt3_small
+from repro.problems.combo import COMBO_PAPER_SHAPES, combo_head
+from repro.problems.nt3 import nt3_head
+from repro.rewards import SurrogateReward
+from repro.search import SearchConfig, run_search
+
+
+@pytest.fixture(scope="module")
+def space():
+    return combo_small()
+
+
+def make_reward(space):
+    return SurrogateReward(space, COMBO_PAPER_SHAPES, combo_head(),
+                           TrainingCostModel.combo_paper(),
+                           epochs=1, train_fraction=0.1, timeout=600.0,
+                           seed=7)
+
+
+class TestCacheKnob:
+    def test_cache_disabled_has_no_hits(self, space):
+        cfg = SearchConfig(method="a3c", allocation=NodeAllocation(32, 4, 3),
+                           wall_time=60 * 60, seed=1, use_cache=False)
+        res = run_search(space, make_reward(space), cfg)
+        assert all(not r.cached for r in res.records)
+        assert not res.converged  # convergence detection needs the cache
+
+
+class TestStalenessKnob:
+    @pytest.mark.parametrize("window", [1, 4])
+    def test_window_reaches_parameter_server(self, space, window):
+        from repro.search.runner import NasSearch
+        cfg = SearchConfig(method="a3c", allocation=NodeAllocation(32, 4, 3),
+                           wall_time=30 * 60, seed=1,
+                           staleness_window=window)
+        search = NasSearch(space, make_reward(space), cfg)
+        assert search.ps._recent.maxlen == window
+
+    def test_default_window(self, space):
+        from repro.search.runner import NasSearch
+        cfg = SearchConfig(method="a3c", allocation=NodeAllocation(64, 6, 4),
+                           wall_time=30 * 60, seed=1)
+        search = NasSearch(space, make_reward(space), cfg)
+        assert search.ps._recent.maxlen == 3  # num_agents // 2
+
+
+class TestFailureInjection:
+    def test_invalid_architectures_get_failure_reward(self):
+        """NT3 architectures whose pooling exhausts a short input compile
+        to an error; the surrogate returns the failure reward instead of
+        crashing the search."""
+        space = nt3_small()
+        rm = SurrogateReward(space, {"rnaseq_expression": (72, 1)},
+                             nt3_head(), TrainingCostModel.nt3_paper(),
+                             timeout=600.0, seed=3)
+        # aggressive pooling: kernel-6 convs and pool-6 pools everywhere
+        bad = space.decode([4, 0, 4, 4, 0, 4, 0, 0, 0, 0, 0, 0])
+        rng = np.random.default_rng(0)
+        # length 72 survives (min is 71) but a shorter input must fail
+        res = rm.evaluate(bad, agent_seed=0)
+        assert res.reward >= -1.0
+        rm_short = SurrogateReward(space, {"rnaseq_expression": (60, 1)},
+                                   nt3_head(), TrainingCostModel.nt3_paper(),
+                                   timeout=600.0, seed=3)
+        res_bad = rm_short.evaluate(bad, agent_seed=0)
+        assert res_bad.reward == rm_short.FAILURE_REWARD
+        assert res_bad.params == 0
+
+    def test_search_survives_failing_architectures(self):
+        """A full search over a space where many architectures are
+        invalid still completes and logs failure rewards."""
+        space = nt3_small()
+        # length 60 < the worst-case-safe 71: aggressive pool/conv chains
+        # exhaust the sequence and fail to compile
+        rm = SurrogateReward(space, {"rnaseq_expression": (60, 1)},
+                             nt3_head(), TrainingCostModel.nt3_paper(),
+                             timeout=600.0, seed=3)
+        cfg = SearchConfig(method="rdm", allocation=NodeAllocation(32, 4, 3),
+                           wall_time=45 * 60, seed=2)
+        res = run_search(space, rm, cfg)
+        assert res.num_evaluations > 0
+        failures = [r for r in res.records if r.reward == -1.0
+                    and r.params == 0]
+        assert failures, "short input must make some architectures fail"
+        # and some architectures still succeed
+        assert any(r.reward > -1.0 for r in res.records)

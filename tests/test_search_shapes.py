@@ -1,0 +1,91 @@
+"""Shape tests for the paper's qualitative search phenomenology.
+
+These pin, at test scale, the mechanisms the figures rely on: A2C's
+sawtooth utilization, the cache-driven utilization decay, and the
+convergence-stop at saturation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.hpc import NodeAllocation, TrainingCostModel
+from repro.nas.spaces import combo_small
+from repro.problems.combo import COMBO_PAPER_SHAPES, combo_head
+from repro.rewards import SurrogateReward
+from repro.search import SearchConfig, run_search
+
+
+@pytest.fixture(scope="module")
+def space():
+    return combo_small()
+
+
+def make_reward(space, noise=0.05):
+    return SurrogateReward(space, COMBO_PAPER_SHAPES, combo_head(),
+                           TrainingCostModel.combo_paper(),
+                           epochs=1, train_fraction=0.1, timeout=600.0,
+                           noise=noise, seed=7)
+
+
+@pytest.fixture(scope="module")
+def runs(space):
+    out = {}
+    for method in ("a3c", "a2c", "rdm"):
+        cfg = SearchConfig(method=method,
+                           allocation=NodeAllocation(64, 6, 5),
+                           wall_time=150 * 60, seed=5)
+        out[method] = run_search(space, make_reward(space), cfg)
+    return out
+
+
+class TestUtilizationShapes:
+    def test_a2c_lowest_mean_utilization(self, runs):
+        """Fig 5: the synchronous barrier costs A2C utilization."""
+        means = {m: r.cluster.mean_utilization(max(r.end_time, 1e-9))
+                 for m, r in runs.items()}
+        assert means["a2c"] < means["rdm"]
+
+    def test_a2c_utilization_oscillates_more(self, runs):
+        """Fig 5: A2C shows a sawtooth — within-round swings between
+        full and idle that RDM's steady pipeline doesn't have."""
+        def fine_variance(res):
+            trace = res.cluster.utilization_trace(res.end_time, 120.0)
+            return float(np.var([u for _, u in trace]))
+
+        assert fine_variance(runs["a2c"]) > fine_variance(runs["rdm"])
+
+    def test_a3c_late_utilization_decays_with_cache(self, runs):
+        """Fig 5: as the A3C policy concentrates, cache hits starve the
+        cluster; RDM never caches so it stays flat."""
+        def late_minus_early(res):
+            trace = res.cluster.utilization_trace(res.end_time, 15 * 60.0)
+            us = [u for _, u in trace]
+            third = max(1, len(us) // 3)
+            return float(np.mean(us[-third:]) - np.mean(us[:third]))
+
+        assert late_minus_early(runs["a3c"]) < \
+            late_minus_early(runs["rdm"]) + 0.02
+
+    def test_rdm_never_hits_cache(self, runs):
+        assert all(not r.cached for r in runs["rdm"].records)
+
+
+class TestLearningShapes:
+    def test_rl_methods_concentrate_sampling(self, runs):
+        """Learning policies revisit architectures (unique < evals);
+        random search essentially never repeats in this space."""
+        for method in ("a3c",):
+            res = runs[method]
+            assert res.unique_architectures < res.num_evaluations
+        rdm = runs["rdm"]
+        assert rdm.unique_architectures == rdm.num_evaluations
+
+    def test_best_rewards_ordering(self, runs):
+        assert runs["a3c"].best().reward >= runs["rdm"].best().reward - 0.05
+
+    def test_timeouts_logged_for_oversized_archs(self, runs):
+        recs = runs["rdm"].records
+        timed_out = [r for r in recs if r.timed_out]
+        if timed_out:  # large random archs exceed the 10-min budget
+            assert all(r.duration == 600.0 for r in timed_out)
+            assert all(r.reward < 0.5 for r in timed_out)
