@@ -1,0 +1,24 @@
+# Developer entry points.  Everything runs from the source tree
+# (PYTHONPATH=src), no install required.
+
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test smoke bench bench-quick
+
+## full tier-1 test suite
+test:
+	$(PYTHON) -m pytest -q
+
+## substrate smoke check: core NN/RL tests + one quick benchmark pass
+smoke:
+	$(PYTHON) -m repro.perf --help >/dev/null  # import sanity
+	$(PYTHON) -c "import sys; from repro.perf import smoke; sys.exit(smoke([]))"
+
+## record substrate baselines into BENCH_substrate.json
+bench:
+	$(PYTHON) benchmarks/bench_baseline.py
+
+## print timings without writing the JSON file
+bench-quick:
+	$(PYTHON) benchmarks/bench_baseline.py --quick --no-write

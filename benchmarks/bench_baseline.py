@@ -1,0 +1,44 @@
+"""Substrate wall-clock baselines, recorded to ``BENCH_substrate.json``.
+
+Unlike the pytest-benchmark suites in this directory (statistical guards
+run under CI), this is the *recording* entry point: it times the
+substrate hot paths via :mod:`repro.perf` and appends the numbers to
+``BENCH_substrate.json`` at the repo root, so performance changes land in
+review with before/after evidence attached.
+
+Usage (see also ``make bench``)::
+
+    PYTHONPATH=src python benchmarks/bench_baseline.py
+    PYTHONPATH=src python benchmarks/bench_baseline.py --quick --no-write
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(ROOT / "src"))
+
+
+def main(argv: list[str] | None = None) -> int:
+    from repro.perf import run_suite, write_results
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="few repeats; for smoke checks, not baselines")
+    parser.add_argument("--no-write", action="store_true",
+                        help="print timings without touching the JSON file")
+    parser.add_argument("--output", default=str(ROOT / "BENCH_substrate.json"),
+                        help="results file (default: repo-root "
+                             "BENCH_substrate.json)")
+    args = parser.parse_args(argv)
+    results = run_suite(repeats=5 if args.quick else 30)
+    if not args.no_write:
+        write_results(args.output, results)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

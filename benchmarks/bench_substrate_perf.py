@@ -10,12 +10,12 @@ import numpy as np
 from repro.hpc.sim import Simulator, Timeout
 from repro.nas.builder import build_model, compile_architecture
 from repro.nas.spaces import combo_small
-from repro.nn import Adam, Dense, GraphModel, Trainer
+from repro.nn import Adam, Dense, FlatAdam, GraphModel, Trainer
 from repro.problems.combo import COMBO_PAPER_SHAPES, combo_head
 from repro.rl import LSTMPolicy, PPOUpdater
 
 
-def bench_dense_training_step(benchmark):
+def _dense_model(dtype):
     rng = np.random.default_rng(0)
     m = GraphModel()
     m.add_input("x", (128,))
@@ -23,10 +23,13 @@ def bench_dense_training_step(benchmark):
     m.add("h2", Dense(256, "relu"), ["h1"])
     m.add("y", Dense(1), ["h2"])
     m.set_output("y")
-    m.build(rng)
-    opt = Adam(m.parameters())
-    x = {"x": rng.standard_normal((256, 128))}
-    g = np.ones((256, 1)) / 256
+    return m.build(rng, dtype=dtype)
+
+
+def _dense_step(m, opt):
+    rng = np.random.default_rng(0)
+    x = {"x": rng.standard_normal((256, 128)).astype(m.dtype)}
+    g = (np.ones((256, 1)) / 256).astype(m.dtype)
 
     def step():
         m.forward(x, training=True)
@@ -34,7 +37,19 @@ def bench_dense_training_step(benchmark):
         m.backward(g)
         opt.step()
 
-    benchmark(step)
+    return step
+
+
+def bench_dense_training_step(benchmark):
+    """The shipped default: float32 compiled plan + fused flat Adam."""
+    m = _dense_model(np.float32)
+    benchmark(_dense_step(m, FlatAdam(m.flatten_parameters())))
+
+
+def bench_dense_training_step_float64(benchmark):
+    """Seed-equivalent numerics: float64 weights, per-parameter Adam."""
+    m = _dense_model(np.float64)
+    benchmark(_dense_step(m, Adam(m.parameters())))
 
 
 def bench_compile_architecture(benchmark):

@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..nn import config
 from ..nn.conv import Flatten
 from ..nn.graph import GraphModel
 from ..nn.merge import Add, Concatenate
@@ -73,8 +74,19 @@ class Plan:
         return next(n.out_shape for n in reversed(self.nodes)
                     if n.name == self.output)
 
-    def materialize(self, rng: np.random.Generator) -> GraphModel:
-        """Instantiate the runnable model; weights drawn from ``rng``."""
+    def materialize(self, rng: np.random.Generator,
+                    dtype=None) -> GraphModel:
+        """Instantiate the runnable model; weights drawn from ``rng``.
+
+        ``dtype`` fixes the model's compute dtype (default: the
+        configured substrate dtype).  Layers are built eagerly inside a
+        dtype scope so mirror-shared weights match the model dtype.
+        """
+        dt = np.dtype(dtype) if dtype is not None else config.get_default_dtype()
+        with config.dtype_scope(dt):
+            return self._materialize(rng, dt)
+
+    def _materialize(self, rng: np.random.Generator, dt) -> GraphModel:
         model = GraphModel()
         for name, shape in self.input_shapes.items():
             model.add_input(name, shape)
@@ -102,7 +114,7 @@ class Plan:
             layers[pn.name] = layer
             model.add(pn.name, layer, pn.inputs)
         model.set_output(self.output)
-        return model.build(rng)
+        return model.build(rng, dtype=dt)
 
 
 class _Compiler:
@@ -266,11 +278,11 @@ def compile_architecture(structure: Structure, choices,
 
 
 def build_model(structure: Structure, choices, input_shapes,
-                head_ops=None, rng: np.random.Generator | None = None
-                ) -> GraphModel:
+                head_ops=None, rng: np.random.Generator | None = None,
+                dtype=None) -> GraphModel:
     """Compile and materialize in one call."""
     plan = compile_architecture(structure, choices, input_shapes, head_ops)
-    return plan.materialize(rng or np.random.default_rng(0))
+    return plan.materialize(rng or np.random.default_rng(0), dtype=dtype)
 
 
 def count_parameters(structure: Structure, choices, input_shapes,

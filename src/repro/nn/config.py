@@ -1,0 +1,64 @@
+"""Substrate-wide numeric configuration: the default floating dtype.
+
+The seed substrate computed everything in float64.  That is twice the
+memory traffic the cancer benchmarks need and forfeits the wider SIMD
+lanes BLAS uses for float32 — and NAS throughput is bounded by how fast
+candidate networks train (the paper's core premise).  The default is
+therefore **float32**; float64 remains a one-line opt-in for gradient
+checks and for bit-reproducing the seed numerics:
+
+* process-wide: ``set_default_dtype(np.float64)`` or the
+  ``REPRO_NN_DTYPE=float64`` environment variable (read once at import);
+* scoped: ``with dtype_scope(np.float64): ...`` (used by the test suite
+  and by :meth:`repro.nas.builder.Plan.materialize`'s ``dtype`` argument).
+
+The configured dtype is consulted when parameters are *created* and when
+a :class:`~repro.nn.graph.GraphModel` is *built* (the model freezes the
+dtype into its execution plan); changing it later does not retroactively
+convert existing models.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+
+import numpy as np
+
+__all__ = ["get_default_dtype", "set_default_dtype", "dtype_scope"]
+
+_ALLOWED = (np.float32, np.float64)
+
+
+def _validate(dtype) -> np.dtype:
+    dt = np.dtype(dtype)
+    if dt not in (np.dtype(d) for d in _ALLOWED):
+        raise ValueError(
+            f"unsupported dtype {dtype!r}; choose float32 or float64")
+    return dt
+
+
+_DTYPE: np.dtype = _validate(os.environ.get("REPRO_NN_DTYPE", "float32"))
+
+
+def get_default_dtype() -> np.dtype:
+    """The dtype new parameters and newly built models will use."""
+    return _DTYPE
+
+
+def set_default_dtype(dtype) -> np.dtype:
+    """Set the process-wide default dtype; returns the previous one."""
+    global _DTYPE
+    previous = _DTYPE
+    _DTYPE = _validate(dtype)
+    return previous
+
+
+@contextmanager
+def dtype_scope(dtype):
+    """Temporarily override the default dtype within a ``with`` block."""
+    previous = set_default_dtype(dtype)
+    try:
+        yield np.dtype(dtype)
+    finally:
+        set_default_dtype(previous)

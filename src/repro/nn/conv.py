@@ -12,6 +12,10 @@ copies) with a single einsum per pass, per the HPC guide's
 vectorize-don't-loop rule; the only Python loop is over the kernel taps in
 the input-gradient scatter, which is O(kernel_size) regardless of data
 size.
+
+Backward-pass scratch arrays are allocated in the incoming gradient's
+dtype (so a float32 model stays float32 end to end) and are pooled and
+reused across batches when the layer runs under an execution plan.
 """
 
 from __future__ import annotations
@@ -20,7 +24,7 @@ import numpy as np
 from numpy.lib.stride_tricks import sliding_window_view
 
 from .initializers import glorot_uniform
-from .layers import Layer
+from .layers import Layer, _backward_activation, _forward_activation
 from .tensor import Parameter
 
 __all__ = ["Conv1D", "MaxPooling1D", "Flatten"]
@@ -76,26 +80,27 @@ class Conv1D(Layer):
         if self.strides > 1:
             win = win[:, ::self.strides]
         self._win = win
-        self._pre = np.einsum("blck,kcf->blf", win, self.w.value) + self.b.value
-        from .layers import ACTIVATIONS
-        fn, _ = ACTIVATIONS[self.activation]
-        self._out = fn(self._pre)
+        w, b = self.w.value, self.b.value
+        if (self._pool is not None and x.dtype == w.dtype
+                and (self.activation != "linear" or self._reuse_out)):
+            pre = self._scratch("pre", (x.shape[0], win.shape[1], self.filters),
+                                w.dtype)
+            np.einsum("blck,kcf->blf", win, w, out=pre)
+            pre += b
+        else:
+            pre = np.einsum("blck,kcf->blf", win, w) + b
+        self._pre = pre
+        self._out = _forward_activation(self, pre)
         return self._out
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
-        from .layers import ACTIVATIONS
-        if self.activation == "softmax":
-            s = self._out
-            dot = (grad_out * s).sum(axis=-1, keepdims=True)
-            grad_pre = s * (grad_out - dot)
-        else:
-            _, gfn = ACTIVATIONS[self.activation]
-            grad_pre = grad_out * gfn(self._pre, self._out)
+        grad_pre = _backward_activation(self, grad_out)
         self.w.grad += np.einsum("blck,blf->kcf", self._win, grad_pre)
         self.b.grad += grad_pre.sum(axis=(0, 1))
         batch, out_len, _ = grad_pre.shape
         channels = self.w.shape[1]
-        grad_in = np.zeros((batch, self._in_len, channels))
+        grad_in = self._scratch("grad_in", (batch, self._in_len, channels),
+                                grad_pre.dtype, zero=True)
         s = self.strides
         for k in range(self.kernel_size):
             # window l covers input position k + s*l
@@ -147,12 +152,19 @@ class MaxPooling1D(Layer):
         batch, length, channels = self._in_shape
         p = self.pool_size
         out_len = length // p
-        grad_r = np.zeros((batch, out_len, p, channels))
+        grad_r = self._scratch("grad_r", (batch, out_len, p, channels),
+                               grad_out.dtype, zero=True)
         b_idx, l_idx, c_idx = np.ogrid[:batch, :out_len, :channels]
         grad_r[b_idx, l_idx, self._argmax, c_idx] = grad_out
-        grad_in = np.zeros((batch, length, channels))
+        grad_in = self._scratch("grad_in", (batch, length, channels),
+                                grad_out.dtype)
         grad_in[:, :out_len * p] = grad_r.reshape(batch, out_len * p, channels)
+        if out_len * p < length:
+            grad_in[:, out_len * p:] = 0.0
         return grad_in
+
+    def parameters(self) -> list[Parameter]:
+        return []
 
 
 class Flatten(Layer):

@@ -3,12 +3,17 @@
 The paper's architectures are multi-input directed acyclic graphs (three
 input layers for Combo, four for Uno, skip connections everywhere), so the
 substrate's model class is graph-first rather than sequential: named nodes
-hold layers, edges carry activations, and forward/backward walk a cached
-topological order.
+hold layers, edges carry activations, and forward/backward execute a
+compiled :class:`~repro.nn.engine.ExecutionPlan` frozen at build time —
+index-based slot lists instead of per-step dict lookups, pooled
+activation/gradient buffers instead of per-batch allocations.
 
 Parameters are deduplicated *by identity* when collected, which is what
 makes MirrorNode weight sharing count shared submodels once — exactly the
-accounting the paper's trainable-parameter ratios rely on.
+accounting the paper's trainable-parameter ratios rely on.  The
+deduplicated list is cached at build time (the graph is immutable once
+built — ``add``/``add_input`` raise), so ``parameters()``/``zero_grad()``
+are O(1) lookups per call rather than per-batch graph re-walks.
 """
 
 from __future__ import annotations
@@ -18,6 +23,8 @@ from typing import Iterable
 
 import numpy as np
 
+from . import config
+from .engine import ExecutionPlan, FlatParameterVector
 from .layers import Layer
 from .merge import MergeLayer
 from .tensor import Parameter
@@ -55,9 +62,12 @@ class GraphModel:
         self.node_inputs: dict[str, list[str]] = {}
         self.output_name: str | None = None
         self.built = False
+        self.dtype: np.dtype | None = None
         self._order: list[str] = []
-        self._values: dict[str, np.ndarray] = {}
         self._consumers: dict[str, list[str]] = {}
+        self._plan: ExecutionPlan | None = None
+        self._params: list[Parameter] | None = None
+        self._flat: FlatParameterVector | None = None
 
     # ------------------------------------------------------------------
     # construction
@@ -94,30 +104,45 @@ class GraphModel:
     # ------------------------------------------------------------------
     # build
     # ------------------------------------------------------------------
-    def build(self, rng: np.random.Generator) -> "GraphModel":
+    def build(self, rng: np.random.Generator, dtype=None) -> "GraphModel":
+        """Build layers, then compile the execution plan.
+
+        ``dtype`` fixes the model's compute dtype (weights created here
+        and input/gradient casts); it defaults to the configured
+        substrate dtype (:func:`repro.nn.config.get_default_dtype`).
+        """
         if self.output_name is None:
             raise RuntimeError("set_output must be called before build")
+        dt = np.dtype(dtype) if dtype is not None else config.get_default_dtype()
         self._order = self._topological_order()
         shapes: dict[str, tuple[int, ...]] = {
             name: spec.shape for name, spec in self.inputs.items()}
-        for name in self._order:
-            layer = self.layers[name]
-            if layer.built:
-                # Pre-built layers (e.g. by the NAS compiler, which builds
-                # eagerly to share mirror-node weights) keep their state.
-                shapes[name] = layer.output_shape
-                continue
-            in_shapes = [shapes[s] for s in self.node_inputs[name]]
-            if isinstance(layer, MergeLayer):
-                shapes[name] = layer.build_multi(in_shapes, rng)
-            else:
-                shapes[name] = layer.build(in_shapes[0], rng)
+        with config.dtype_scope(dt):
+            for name in self._order:
+                layer = self.layers[name]
+                if layer.built:
+                    # Pre-built layers (e.g. by the NAS compiler, which builds
+                    # eagerly to share mirror-node weights) keep their state.
+                    shapes[name] = layer.output_shape
+                    continue
+                in_shapes = [shapes[s] for s in self.node_inputs[name]]
+                if isinstance(layer, MergeLayer):
+                    shapes[name] = layer.build_multi(in_shapes, rng)
+                else:
+                    shapes[name] = layer.build(in_shapes[0], rng)
         self._consumers = {n: [] for n in list(self.inputs) + list(self.layers)}
         for name, srcs in self.node_inputs.items():
             for s in srcs:
                 self._consumers[s].append(name)
         self.built = True
+        self.dtype = dt
         self.output_shape = shapes[self.output_name]
+        # freeze: deduplicated parameter list, then the compiled plan.
+        # The graph cannot be mutated once built (add() raises), so both
+        # stay valid for the model's lifetime.
+        self._params = self._collect_parameters()
+        self._plan = ExecutionPlan(self)
+        self._flat = None
         return self
 
     def _topological_order(self) -> list[str]:
@@ -150,62 +175,66 @@ class GraphModel:
         missing = set(self.inputs) - set(inputs)
         if missing:
             raise KeyError(f"missing inputs: {sorted(missing)}")
-        values: dict[str, np.ndarray] = {
-            name: np.asarray(inputs[name], dtype=np.float64)
-            for name in self.inputs}
-        for name in self._order:
-            layer = self.layers[name]
-            xs = [values[s] for s in self.node_inputs[name]]
-            if isinstance(layer, MergeLayer):
-                values[name] = layer.forward_multi(xs, training)
-            else:
-                values[name] = layer.forward(xs[0], training)
-        self._values = values
-        return values[self.output_name]
+        return self._plan.run_forward(inputs, training)
 
     def backward(self, grad_output: np.ndarray) -> dict[str, np.ndarray]:
         """Backpropagate; returns gradients w.r.t. each model input."""
-        grads: dict[str, np.ndarray] = {
-            self.output_name: np.asarray(grad_output, dtype=np.float64)}
-        for name in reversed(self._order):
-            g = grads.pop(name, None)
-            if g is None:
-                continue  # node not on a path to the output
-            layer = self.layers[name]
-            if isinstance(layer, MergeLayer):
-                in_grads = layer.backward_multi(g)
-            else:
-                in_grads = [layer.backward(g)]
-            for src, ig in zip(self.node_inputs[name], in_grads):
-                if src in grads:
-                    grads[src] = grads[src] + ig
-                else:
-                    grads[src] = ig
-        return {name: grads.get(name, np.zeros((1,) + self.inputs[name].shape))
-                for name in self.inputs}
+        return self._plan.run_backward(grad_output)
 
     # ------------------------------------------------------------------
     # introspection
     # ------------------------------------------------------------------
-    def parameters(self) -> list[Parameter]:
-        """All trainable parameters, shared ones counted once."""
+    def _collect_parameters(self) -> list[Parameter]:
         seen: dict[int, Parameter] = {}
         for name in self._order or self.layers:
             for p in self.layers[name].parameters():
                 seen.setdefault(id(p), p)
         return list(seen.values())
 
+    def parameters(self) -> list[Parameter]:
+        """All trainable parameters, shared ones counted once.
+
+        After ``build()`` this returns a copy of the cached deduplicated
+        list (no per-call graph walk); before build it re-walks layers.
+        """
+        if self._params is not None:
+            return list(self._params)
+        return self._collect_parameters()
+
+    def flatten_parameters(self) -> FlatParameterVector:
+        """Pack all parameters into one contiguous vector (cached).
+
+        Parameter ``value``/``grad`` arrays become views of the pack; see
+        :class:`~repro.nn.engine.FlatParameterVector`.  Used by the fused
+        optimizers and by parameter-server weight exchange.
+        """
+        if not self.built:
+            raise RuntimeError("model must be built before flattening")
+        if self._flat is None:
+            self._flat = FlatParameterVector(self._params)
+        return self._flat
+
     @property
     def num_params(self) -> int:
         return sum(p.size for p in self.parameters())
 
     def zero_grad(self) -> None:
-        for p in self.parameters():
+        if self._flat is not None:
+            self._flat.zero_grad()
+            return
+        for p in (self._params if self._params is not None
+                  else self._collect_parameters()):
             p.zero_grad()
 
     def node_value(self, name: str) -> np.ndarray:
-        """Activation of a node from the most recent forward pass."""
-        return self._values[name]
+        """Activation of a node from the most recent forward pass.
+
+        With the compiled engine, interior activations live in reused
+        buffers: the returned array is valid until the next forward call.
+        """
+        if self._plan is None:
+            raise RuntimeError("model is not built")
+        return self._plan.value_of(name)
 
     def summary(self) -> str:
         lines = [f"{'node':<28}{'layer':<18}{'params':>10}"]

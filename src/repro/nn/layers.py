@@ -14,6 +14,14 @@ Every layer follows the same protocol:
 
 Layers are stateful across a single forward/backward pair, mirroring the
 explicit staged execution used by the graph model.
+
+When a layer runs under a compiled
+:class:`~repro.nn.engine.ExecutionPlan`, the plan attaches a
+:class:`~repro.nn.engine.BufferPool` (``self._pool``) and marks whether
+the layer's output may be written into a reused buffer
+(``self._reuse_out``; false for the model output and anything aliasing
+it).  Standalone layers (``self._pool is None``) allocate fresh arrays
+every call, exactly like the seed implementation.
 """
 
 from __future__ import annotations
@@ -81,6 +89,51 @@ ACTIVATIONS = {
 }
 
 
+def _forward_activation(layer: "Layer", pre: np.ndarray) -> np.ndarray:
+    """Apply ``layer.activation`` to a pre-activation batch.
+
+    Shared by :class:`Dense` and :class:`~repro.nn.conv.Conv1D`.  relu and
+    tanh write into the layer's pooled output buffer when the execution
+    plan allows output reuse; everything else allocates as before.
+    """
+    act = layer.activation
+    if act == "linear":
+        return pre
+    if layer._pool is not None and layer._reuse_out and act in ("relu", "tanh"):
+        out = layer._scratch("act_out", pre.shape, pre.dtype)
+        if act == "relu":
+            np.maximum(pre, 0.0, out=out)
+        else:
+            np.tanh(pre, out=out)
+        return out
+    return ACTIVATIONS[act][0](pre)
+
+
+def _backward_activation(layer: "Layer", grad_out: np.ndarray) -> np.ndarray:
+    """Gradient w.r.t. the pre-activation, from the layer's caches.
+
+    The returned array may be a pooled scratch buffer (or, for linear,
+    ``grad_out`` itself); callers only read it within the current
+    backward pass.
+    """
+    act = layer.activation
+    if act == "softmax":
+        s = layer._out
+        dot = (grad_out * s).sum(axis=-1, keepdims=True)
+        return s * (grad_out - dot)
+    if act == "linear":
+        return grad_out
+    _, gfn = ACTIVATIONS[act]
+    if layer._pool is not None:
+        buf = layer._scratch("act_bwd", grad_out.shape, grad_out.dtype)
+        if act == "relu":
+            np.multiply(grad_out, layer._pre > 0.0, out=buf)
+        else:
+            np.multiply(grad_out, gfn(layer._pre, layer._out), out=buf)
+        return buf
+    return grad_out * gfn(layer._pre, layer._out)
+
+
 class Layer:
     """Base class; see module docstring for the protocol."""
 
@@ -89,6 +142,11 @@ class Layer:
         self.built = False
         self.input_shape: tuple[int, ...] | None = None
         self.output_shape: tuple[int, ...] | None = None
+        #: attached by ExecutionPlan; None for standalone layers
+        self._pool = None
+        #: True when the plan proved this layer's output never aliases
+        #: the model output, so it may live in a reused buffer
+        self._reuse_out = False
 
     def build(self, input_shape: tuple[int, ...], rng: np.random.Generator) -> tuple[int, ...]:
         self.built = True
@@ -104,6 +162,13 @@ class Layer:
 
     def parameters(self) -> list[Parameter]:
         return []
+
+    def _scratch(self, role: str, shape: tuple[int, ...], dtype,
+                 zero: bool = False) -> np.ndarray:
+        """A scratch array: pooled under a plan, freshly allocated otherwise."""
+        if self._pool is None:
+            return np.zeros(shape, dtype) if zero else np.empty(shape, dtype)
+        return self._pool.get(id(self), role, shape, dtype, zero)
 
     @property
     def num_params(self) -> int:
@@ -173,19 +238,23 @@ class Dense(Layer):
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
         self._x = x
-        self._pre = x @ self.w.value + self.b.value
-        fn, _ = ACTIVATIONS[self.activation]
-        self._out = fn(self._pre)
+        w, b = self.w.value, self.b.value
+        # matmul into a reused buffer when the plan allows it; with a
+        # linear activation the pre-activation IS the output, so reuse is
+        # additionally gated on _reuse_out
+        if (self._pool is not None and x.dtype == w.dtype and x.ndim == 2
+                and (self.activation != "linear" or self._reuse_out)):
+            pre = self._scratch("pre", (x.shape[0], self.units), w.dtype)
+            np.matmul(x, w, out=pre)
+            pre += b
+        else:
+            pre = x @ w + b
+        self._pre = pre
+        self._out = _forward_activation(self, pre)
         return self._out
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
-        if self.activation == "softmax":
-            s = self._out
-            dot = (grad_out * s).sum(axis=-1, keepdims=True)
-            grad_pre = s * (grad_out - dot)
-        else:
-            _, gfn = ACTIVATIONS[self.activation]
-            grad_pre = grad_out * gfn(self._pre, self._out)
+        grad_pre = _backward_activation(self, grad_out)
         self.w.grad += self._x.T @ grad_pre
         self.b.grad += grad_pre.sum(axis=0)
         return grad_pre @ self.w.value.T
@@ -245,8 +314,11 @@ class Dropout(Layer):
             self._mask = None
             return x
         keep = 1.0 - self.rate
-        self._mask = (self._rng.random(x.shape) < keep) / keep
-        return x * self._mask
+        # mask kept in x's dtype so float32 batches stay float32
+        mask = (self._rng.random(x.shape) < keep).astype(x.dtype)
+        mask /= np.asarray(keep, dtype=x.dtype)
+        self._mask = mask
+        return x * mask
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
         if self._mask is None:

@@ -3,6 +3,11 @@
 Each loss exposes ``value(pred, target)`` and ``grad(pred, target)``; the
 gradient is with respect to the prediction and already averaged over the
 batch, so optimizer steps are batch-size independent.
+
+Losses are dtype-preserving: ``grad`` returns an array in the
+prediction's dtype (so a float32 backward pass stays float32), while
+scalar ``value`` reductions always accumulate in float64 for stable
+epoch-loss reporting.
 """
 
 from __future__ import annotations
@@ -26,15 +31,14 @@ class MeanSquaredError(Loss):
     """MSE for the Combo / Uno regression benchmarks."""
 
     def value(self, pred, target):
-        pred = np.asarray(pred, dtype=np.float64)
-        target = np.asarray(target, dtype=np.float64)
-        return float(np.mean((pred - target) ** 2))
+        pred = np.asarray(pred)
+        target = np.asarray(target, dtype=pred.dtype)
+        return float(np.mean(np.square(pred - target), dtype=np.float64))
 
     def grad(self, pred, target):
-        pred = np.asarray(pred, dtype=np.float64)
-        target = np.asarray(target, dtype=np.float64)
+        pred = np.asarray(pred)
+        target = np.asarray(target, dtype=pred.dtype)
         return 2.0 * (pred - target) / pred.size
-
 
 class CategoricalCrossentropy(Loss):
     """Cross-entropy over probability outputs (softmax applied upstream).
@@ -44,12 +48,15 @@ class CategoricalCrossentropy(Loss):
     """
 
     def value(self, pred, target):
-        p = np.clip(np.asarray(pred, dtype=np.float64), _EPS, 1.0)
-        return float(-np.mean(np.sum(target * np.log(p), axis=-1)))
+        p = np.clip(np.asarray(pred), _EPS, 1.0)
+        target = np.asarray(target, dtype=p.dtype)
+        return float(-np.mean(np.sum(target * np.log(p), axis=-1),
+                              dtype=np.float64))
 
     def grad(self, pred, target):
-        p = np.clip(np.asarray(pred, dtype=np.float64), _EPS, 1.0)
-        return -(np.asarray(target, dtype=np.float64) / p) / pred.shape[0]
+        p = np.clip(np.asarray(pred), _EPS, 1.0)
+        target = np.asarray(target, dtype=p.dtype)
+        return -(target / p) / pred.shape[0]
 
 
 _LOSSES = {

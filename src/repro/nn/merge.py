@@ -9,6 +9,10 @@ heterogeneous tensors: when operand widths differ, shorter operands are
 zero-padded to the widest width before summation (a projection-free
 alignment that keeps the operation parameter-free, which matters because
 ``Add`` nodes are excluded from the trainable search space).
+
+Both layers are dtype-preserving (the merged output keeps the promoted
+dtype of the operands rather than forcing float64) and write into pooled
+buffers when the execution plan marks their output as reusable.
 """
 
 from __future__ import annotations
@@ -64,6 +68,12 @@ class Concatenate(MergeLayer):
     def forward_multi(self, xs, training=False):
         if len(xs) == 1:
             return xs[0]
+        if self._pool is not None and self._reuse_out:
+            dt = np.result_type(*[x.dtype for x in xs])
+            if all(x.dtype == dt for x in xs):
+                out = self._scratch(
+                    "out", (xs[0].shape[0], sum(x.shape[-1] for x in xs)), dt)
+                return np.concatenate(xs, axis=-1, out=out)
         return np.concatenate(xs, axis=-1)
 
     def backward_multi(self, grad_out):
@@ -93,7 +103,12 @@ class Add(MergeLayer):
         return self.output_shape
 
     def forward_multi(self, xs, training=False):
-        out = np.zeros((xs[0].shape[0], self._out_width))
+        dt = np.result_type(*[x.dtype for x in xs])
+        if self._pool is not None and self._reuse_out:
+            out = self._scratch("out", (xs[0].shape[0], self._out_width), dt,
+                                zero=True)
+        else:
+            out = np.zeros((xs[0].shape[0], self._out_width), dtype=dt)
         for x in xs:
             out[:, :x.shape[-1]] += x
         return out

@@ -1,19 +1,30 @@
 """Gradient-descent optimizers.
 
 Adam uses the same defaults as the paper's experiments (learning rate
-0.001), for both reward estimation and post-training.  Optimizers operate
-on lists of :class:`~repro.nn.tensor.Parameter` objects and keep their
-moment state keyed by parameter identity, so shared (mirrored) parameters
-are updated once per step even though they appear in multiple layers.
+0.001), for both reward estimation and post-training.  Two families are
+provided:
+
+* :class:`SGD`/:class:`Adam` — operate on lists of
+  :class:`~repro.nn.tensor.Parameter` objects, moment state keyed by
+  parameter identity so shared (mirrored) parameters are updated once per
+  step even though they appear in multiple layers.
+* :class:`FlatSGD`/:class:`FlatAdam` — fused variants over a
+  :class:`~repro.nn.engine.FlatParameterVector`: the whole model updates
+  with a handful of whole-vector vectorized ops instead of a Python loop
+  over parameters.  Elementwise the math is identical to the per-parameter
+  classes (same ops in the same order per element), so results are
+  bit-identical at equal dtype.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from .engine import FlatParameterVector
 from .tensor import Parameter
 
-__all__ = ["Optimizer", "SGD", "Adam", "get_optimizer", "clip_global_norm"]
+__all__ = ["Optimizer", "SGD", "Adam", "FlatOptimizer", "FlatSGD",
+           "FlatAdam", "get_optimizer", "clip_global_norm"]
 
 
 def clip_global_norm(grads: list[np.ndarray], max_norm: float) -> float:
@@ -96,10 +107,84 @@ class Adam(Optimizer):
             p.value -= self.lr * (m / b1t) / (np.sqrt(v / b2t) + self.eps)
 
 
-_OPTIMIZERS = {"sgd": SGD, "adam": Adam}
+class FlatOptimizer:
+    """Base for fused optimizers over one contiguous parameter vector.
+
+    Accepts either a prepared :class:`FlatParameterVector` (e.g. from
+    :meth:`GraphModel.flatten_parameters`) or a plain parameter list,
+    which is packed (deduplicated by identity) on the spot.
+    """
+
+    def __init__(self, params) -> None:
+        if isinstance(params, FlatParameterVector):
+            self.flat = params
+        else:
+            self.flat = FlatParameterVector(list(params))
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+    def zero_grad(self) -> None:
+        self.flat.zero_grad()
 
 
-def get_optimizer(name: str, params: list[Parameter], **kwargs) -> Optimizer:
+class FlatSGD(FlatOptimizer):
+    """Fused SGD: the whole model steps as one vector op."""
+
+    def __init__(self, params, lr: float = 0.01, momentum: float = 0.0) -> None:
+        super().__init__(params)
+        if lr <= 0:
+            raise ValueError("lr must be positive")
+        self.lr = lr
+        self.momentum = momentum
+        self._velocity = np.zeros_like(self.flat.values)
+
+    def step(self) -> None:
+        g = self.flat.grads
+        if self.momentum:
+            v = self._velocity
+            v *= self.momentum
+            v -= self.lr * g
+            self.flat.values += v
+        else:
+            self.flat.values -= self.lr * g
+
+
+class FlatAdam(FlatOptimizer):
+    """Fused Adam: whole-vector moments, bit-identical to :class:`Adam`."""
+
+    def __init__(self, params, lr: float = 0.001, beta1: float = 0.9,
+                 beta2: float = 0.999, eps: float = 1e-8) -> None:
+        super().__init__(params)
+        if lr <= 0:
+            raise ValueError("lr must be positive")
+        self.lr = lr
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self.t = 0
+        self._m = np.zeros_like(self.flat.values)
+        self._v = np.zeros_like(self.flat.values)
+
+    def step(self) -> None:
+        self.t += 1
+        b1t = 1.0 - self.beta1 ** self.t
+        b2t = 1.0 - self.beta2 ** self.t
+        g = self.flat.grads
+        m, v = self._m, self._v
+        m *= self.beta1
+        m += (1.0 - self.beta1) * g
+        v *= self.beta2
+        v += (1.0 - self.beta2) * g * g
+        self.flat.values -= self.lr * (m / b1t) / (np.sqrt(v / b2t) + self.eps)
+
+
+_OPTIMIZERS = {"sgd": SGD, "adam": Adam, "flat_sgd": FlatSGD,
+               "flat_adam": FlatAdam}
+
+
+def get_optimizer(name: str, params, **kwargs):
+    """Look up an optimizer by name (``sgd``/``adam``/``flat_sgd``/``flat_adam``)."""
     try:
         cls = _OPTIMIZERS[name]
     except KeyError:

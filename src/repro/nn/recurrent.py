@@ -68,7 +68,7 @@ class LSTMCell:
         return sum(p.size for p in self.parameters())
 
     def initial_state(self, batch: int) -> tuple[np.ndarray, np.ndarray]:
-        h = np.zeros((batch, self.hidden_size))
+        h = np.zeros((batch, self.hidden_size), dtype=self.wx.value.dtype)
         return h, h.copy()
 
     def step(self, x: np.ndarray, h_prev: np.ndarray, c_prev: np.ndarray

@@ -12,6 +12,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from . import config
+
 __all__ = ["Parameter"]
 
 
@@ -21,24 +23,37 @@ class Parameter:
     Parameters
     ----------
     value:
-        Initial value.  Stored as ``float64`` for numerically robust
-        gradient checks; the training workloads in this repository are
-        small enough that the extra width is irrelevant.
+        Initial value.  Stored in the substrate's configured floating
+        dtype (:func:`repro.nn.config.get_default_dtype` — float32 by
+        default; use float64 for numerically robust gradient checks).
     name:
         Optional human-readable identifier, used in error messages and
         analytics output.
+    dtype:
+        Explicit storage dtype, overriding the configured default.
+
+    When a model's parameters are packed by
+    :class:`~repro.nn.engine.FlatParameterVector`, ``value`` and ``grad``
+    are rebound to views of the flat pack; all Parameter-level reads and
+    in-place writes keep working unchanged.
     """
 
     __slots__ = ("value", "grad", "name")
 
-    def __init__(self, value: np.ndarray, name: str = "") -> None:
-        self.value = np.asarray(value, dtype=np.float64)
+    def __init__(self, value: np.ndarray, name: str = "",
+                 dtype=None) -> None:
+        self.value = np.asarray(
+            value, dtype=dtype if dtype is not None else config.get_default_dtype())
         self.grad = np.zeros_like(self.value)
         self.name = name
 
     @property
     def shape(self) -> tuple[int, ...]:
         return self.value.shape
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.value.dtype
 
     @property
     def size(self) -> int:

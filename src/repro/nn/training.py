@@ -6,6 +6,12 @@ training data; post-training uses 20 epochs, no timeout, full data.  The
 :class:`Trainer` here exposes exactly those knobs: ``epochs``,
 ``timeout``, ``train_fraction`` and a pluggable clock so timeout behaviour
 is testable without waiting.
+
+Hot-path notes: the shuffled epoch subset is gathered into contiguous
+arrays **once per epoch** (paying any dtype cast at the same time), so
+each batch is a zero-copy slice instead of a per-batch fancy-index copy;
+and the default optimizer is the fused :class:`~repro.nn.optimizers.FlatAdam`
+over the model's packed parameter vector.
 """
 
 from __future__ import annotations
@@ -19,7 +25,7 @@ import numpy as np
 from .graph import GraphModel
 from .losses import Loss, get_loss
 from .metrics import get_metric
-from .optimizers import Adam, Optimizer
+from .optimizers import FlatAdam, Optimizer
 
 __all__ = ["History", "Trainer", "train_model"]
 
@@ -86,7 +92,8 @@ class Trainer:
             y_val: np.ndarray | None = None,
             optimizer: Optimizer | None = None) -> History:
         rng = np.random.default_rng(self.seed)
-        opt = optimizer or Adam(model.parameters(), lr=self.lr)
+        opt = optimizer or FlatAdam(model.flatten_parameters(), lr=self.lr)
+        dt = model.dtype
         n = len(y_train)
         n_used = max(1, int(round(n * self.train_fraction)))
         history = History()
@@ -95,12 +102,18 @@ class Trainer:
 
         for _ in range(self.epochs):
             order = rng.permutation(n_used)
+            perm = subset[order]
+            # one contiguous gather (and dtype cast) per epoch; batches
+            # below are zero-copy slices of these arrays
+            x_epoch = {k: np.ascontiguousarray(v[perm], dtype=dt)
+                       for k, v in x_train.items()}
+            y_epoch = y_train[perm]
             epoch_loss = 0.0
             batches = 0
             for lo in range(0, n_used, self.batch_size):
-                idx = subset[order[lo:lo + self.batch_size]]
-                xb = {k: v[idx] for k, v in x_train.items()}
-                yb = y_train[idx]
+                hi = lo + self.batch_size
+                xb = {k: v[lo:hi] for k, v in x_epoch.items()}
+                yb = y_epoch[lo:hi]
                 pred = model.forward(xb, training=True)
                 epoch_loss += self.loss.value(pred, yb)
                 batches += 1
@@ -123,6 +136,9 @@ class Trainer:
 
     def evaluate(self, model: GraphModel, x: dict[str, np.ndarray],
                  y: np.ndarray, batch_size: int = 1024) -> float:
+        if model.dtype is not None:
+            # cast once; per-batch slices below are then views
+            x = {k: np.asarray(v, dtype=model.dtype) for k, v in x.items()}
         preds = []
         n = len(y)
         for lo in range(0, n, batch_size):

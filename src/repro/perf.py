@@ -1,0 +1,238 @@
+"""Substrate performance harness: baseline timings and regression smoke.
+
+The NAS loop's throughput is bounded by how fast candidate networks train
+(the paper's premise is that thousands of reward estimations per hour are
+needed), so the substrate's hot paths are guarded by explicit wall-clock
+baselines.  This module provides:
+
+* :func:`run_suite` — timed micro-benchmarks of the dense training step
+  (the reward-estimation inner loop) in both the compiled float32 default
+  configuration and the seed-equivalent float64 per-parameter
+  configuration, plus Conv1D forward+backward, a PPO update, and
+  architecture compilation.
+* :func:`write_results` / :func:`main` — the ``repro-bench`` console
+  entry point; appends one timestamped record per run to
+  ``BENCH_substrate.json`` so before/after numbers live in the repo.
+* :func:`smoke` — the ``repro-smoke`` console entry point: the tier-1
+  substrate test files plus one quick benchmark iteration; the cheap
+  pre-merge check wired into ``make smoke``.
+
+Run via ``make bench`` / ``make smoke`` or::
+
+    PYTHONPATH=src python -m repro.perf --quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["time_callable", "run_suite", "write_results", "main", "smoke"]
+
+#: test files exercised by the smoke entry point (tier-1 substrate core)
+SMOKE_TESTS = ["tests/test_nn_graph.py", "tests/test_nn_training.py",
+               "tests/test_rl_ppo.py"]
+
+
+def time_callable(fn, repeats: int = 30, warmup: int = 5) -> dict:
+    """Time ``fn()`` and report best/mean/p50 milliseconds.
+
+    ``best`` is the headline number: on shared machines it is the least
+    noise-contaminated estimate of the achievable per-call cost.
+    """
+    for _ in range(warmup):
+        fn()
+    samples = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - t0)
+    arr = np.asarray(samples) * 1e3
+    return {"best_ms": float(arr.min()), "mean_ms": float(arr.mean()),
+            "p50_ms": float(np.percentile(arr, 50)), "repeats": repeats}
+
+
+# ----------------------------------------------------------------------
+# benchmark workloads
+# ----------------------------------------------------------------------
+def _dense_model(dtype):
+    from repro.nn import Dense, GraphModel
+
+    m = GraphModel()
+    m.add_input("x", (128,))
+    m.add("h1", Dense(256, "relu"), ["x"])
+    m.add("h2", Dense(256, "relu"), ["h1"])
+    m.add("y", Dense(1), ["h2"])
+    m.set_output("y")
+    return m.build(np.random.default_rng(0), dtype=dtype)
+
+
+def _dense_step(dtype, fused: bool):
+    from repro.nn import Adam, FlatAdam
+
+    m = _dense_model(dtype)
+    opt = (FlatAdam(m.flatten_parameters()) if fused
+           else Adam(m.parameters()))
+    rng = np.random.default_rng(1)
+    x = {"x": rng.standard_normal((256, 128)).astype(m.dtype)}
+    g = (np.ones((256, 1)) / 256).astype(m.dtype)
+
+    def step():
+        m.forward(x, training=True)
+        m.zero_grad()
+        m.backward(g)
+        opt.step()
+
+    return step
+
+
+def _conv_fwd_bwd(dtype):
+    from repro.nn import Conv1D, Dense, Flatten, GraphModel, MaxPooling1D
+
+    m = GraphModel()
+    m.add_input("x", (1024, 1))
+    m.add("c1", Conv1D(8, 7, activation="relu"), ["x"])
+    m.add("p1", MaxPooling1D(2), ["c1"])
+    m.add("c2", Conv1D(8, 5, activation="relu"), ["p1"])
+    m.add("p2", MaxPooling1D(2), ["c2"])
+    m.add("f", Flatten(), ["p2"])
+    m.add("y", Dense(1), ["f"])
+    m.set_output("y")
+    m.build(np.random.default_rng(0), dtype=dtype)
+    rng = np.random.default_rng(1)
+    x = {"x": rng.standard_normal((32, 1024, 1)).astype(m.dtype)}
+    g = (np.ones((32, 1)) / 32).astype(m.dtype)
+
+    def step():
+        m.forward(x, training=True)
+        m.zero_grad()
+        m.backward(g)
+
+    return step
+
+
+def _ppo_update():
+    from repro.nas.spaces import combo_small
+    from repro.rl import LSTMPolicy, PPOUpdater
+
+    space = combo_small()
+    policy = LSTMPolicy(space.action_dims, seed=0)
+    updater = PPOUpdater(policy)
+    rng = np.random.default_rng(0)
+    rollout = policy.sample(11, rng)
+    rewards = rng.random(11)
+    return lambda: updater.update(rollout, rewards)
+
+
+def _compile_batch():
+    from repro.nas.builder import compile_architecture
+    from repro.nas.spaces import combo_small
+    from repro.problems.combo import COMBO_PAPER_SHAPES, combo_head
+
+    space = combo_small()
+    rng = np.random.default_rng(0)
+    archs = [space.random_architecture(rng) for _ in range(20)]
+    return lambda: [compile_architecture(space, a.choices,
+                                         COMBO_PAPER_SHAPES, combo_head())
+                    for a in archs]
+
+
+def run_suite(repeats: int = 30) -> dict:
+    """Run every benchmark; returns ``{name: timing dict}``.
+
+    ``dense_train_step_float64_unfused`` reproduces the seed
+    configuration (float64 weights, per-parameter Adam) and
+    ``dense_train_step`` is the shipped default (float32, compiled plan,
+    fused flat Adam); their ratio is the substrate speedup.
+    """
+    suite = {
+        "dense_train_step": _dense_step(np.float32, fused=True),
+        "dense_train_step_float64_unfused": _dense_step(np.float64,
+                                                        fused=False),
+        "conv1d_fwd_bwd": _conv_fwd_bwd(np.float32),
+        "ppo_update": _ppo_update(),
+        "compile_architecture_x20": _compile_batch(),
+    }
+    results = {}
+    for name, fn in suite.items():
+        results[name] = time_callable(fn, repeats=repeats)
+        print(f"{name:36s} best {results[name]['best_ms']:8.3f} ms  "
+              f"mean {results[name]['mean_ms']:8.3f} ms")
+    fast = results["dense_train_step"]["best_ms"]
+    slow = results["dense_train_step_float64_unfused"]["best_ms"]
+    results["dense_step_speedup"] = round(slow / fast, 3)
+    print(f"{'dense_step_speedup':36s} {results['dense_step_speedup']:.2f}x "
+          f"(float64 unfused / float32 fused)")
+    return results
+
+
+def write_results(path: str | Path, results: dict) -> None:
+    """Append one benchmark record to a JSON file (list of runs)."""
+    path = Path(path)
+    record = {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "machine": platform.machine(),
+        "results": results,
+    }
+    runs = []
+    if path.exists():
+        try:
+            runs = json.loads(path.read_text())
+        except (ValueError, OSError):
+            runs = []
+        if not isinstance(runs, list):
+            runs = [runs]
+    runs.append(record)
+    path.write_text(json.dumps(runs, indent=2) + "\n")
+    print(f"wrote {path} ({len(runs)} run{'s' if len(runs) != 1 else ''})")
+
+
+# ----------------------------------------------------------------------
+# console entry points
+# ----------------------------------------------------------------------
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench", description="substrate performance baselines")
+    parser.add_argument("--quick", action="store_true",
+                        help="few repeats; for smoke checks, not baselines")
+    parser.add_argument("--repeats", type=int, default=None,
+                        help="timing repeats per benchmark (default 30)")
+    parser.add_argument("--output", default=None, metavar="PATH",
+                        help="append results to this JSON file "
+                             "(e.g. BENCH_substrate.json)")
+    args = parser.parse_args(argv)
+    repeats = args.repeats or (5 if args.quick else 30)
+    results = run_suite(repeats=repeats)
+    if args.output:
+        write_results(args.output, results)
+    return 0
+
+
+def smoke(argv: list[str] | None = None) -> int:
+    """Tier-1 substrate tests + one quick benchmark pass."""
+    parser = argparse.ArgumentParser(
+        prog="repro-smoke",
+        description="substrate smoke check: core tests + quick bench")
+    parser.parse_args(argv)
+    root = Path(__file__).resolve().parents[2]
+    code = subprocess.call(
+        [sys.executable, "-m", "pytest", "-q", *SMOKE_TESTS], cwd=root)
+    if code != 0:
+        print("smoke: tests FAILED")
+        return code
+    print("smoke: tests passed; timing one quick benchmark pass")
+    run_suite(repeats=3)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -19,6 +19,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..nn.engine import FlatParameterVector
 from ..nn.initializers import glorot_uniform
 from ..nn.recurrent import LSTMCell, LSTMStepCache
 from ..nn.tensor import Parameter
@@ -72,8 +73,13 @@ class LSTMPolicy:
         self.b_pi = Parameter(np.zeros(self.max_dim), "policy.b_pi")
         self.w_v = Parameter(glorot_uniform((hidden, 1), rng), "policy.w_v")
         self.b_v = Parameter(np.zeros(1), "policy.b_v")
+        # all parameters packed into one contiguous vector; value/grad
+        # arrays become views, so flat weight exchange is copy-free
+        self.flat = FlatParameterVector(self.parameters())
+        self._dtype = self.w_pi.value.dtype
         # per-step mask, built once
-        self._mask = np.full((self.horizon, self.max_dim), _NEG)
+        self._mask = np.full((self.horizon, self.max_dim), _NEG,
+                             dtype=self._dtype)
         for t, d in enumerate(self.action_dims):
             self._mask[t, :d] = 0.0
 
@@ -87,24 +93,22 @@ class LSTMPolicy:
         return sum(p.size for p in self.parameters())
 
     def zero_grad(self) -> None:
-        for p in self.parameters():
-            p.zero_grad()
+        self.flat.zero_grad()
 
     def get_flat(self) -> np.ndarray:
-        """All parameters as one vector (for parameter-server exchange)."""
-        return np.concatenate([p.value.ravel() for p in self.parameters()])
+        """All parameters as one vector (for parameter-server exchange).
+
+        Returns a snapshot copy: callers diff it against later states
+        (e.g. ``after - before`` update deltas), so it must not alias the
+        live parameter pack.
+        """
+        return self.flat.copy_values()
 
     def set_flat(self, vec: np.ndarray) -> None:
-        offset = 0
-        for p in self.parameters():
-            n = p.size
-            p.value[...] = vec[offset:offset + n].reshape(p.value.shape)
-            offset += n
-        if offset != len(vec):
-            raise ValueError(f"expected {offset} entries, got {len(vec)}")
+        self.flat.set_values(vec)
 
     def add_flat(self, delta: np.ndarray) -> None:
-        self.set_flat(self.get_flat() + delta)
+        self.flat.add_values(delta)
 
     # -- forward passes -------------------------------------------------
     def _step_distribution(self, t: int, tokens: np.ndarray,
@@ -183,9 +187,13 @@ class LSTMPolicy:
                        d_value: np.ndarray, d_entropy: np.ndarray) -> None:
         """Accumulate parameter gradients for a scalar objective with the
         given partials w.r.t. per-step logprob/value/entropy."""
+        dt = self._dtype
+        d_logp = np.asarray(d_logp, dtype=dt)
+        d_value = np.asarray(d_value, dtype=dt)
+        d_entropy = np.asarray(d_entropy, dtype=dt)
         batch = caches[0].tokens.shape[0]
-        dh_next = np.zeros((batch, self.hidden))
-        dc_next = np.zeros((batch, self.hidden))
+        dh_next = np.zeros((batch, self.hidden), dtype=dt)
+        dc_next = np.zeros((batch, self.hidden), dtype=dt)
         idx = np.arange(batch)
         for t in reversed(range(len(caches))):
             cache = caches[t]

@@ -22,7 +22,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..nn.optimizers import Adam, clip_global_norm
+from ..nn.optimizers import FlatAdam, clip_global_norm
 from .policy import LSTMPolicy, Rollout
 
 __all__ = ["PPOConfig", "PPOStats", "PPOUpdater"]
@@ -70,7 +70,9 @@ class PPOUpdater:
                  ) -> None:
         self.policy = policy
         self.config = config or PPOConfig()
-        self.optimizer = Adam(policy.parameters(), lr=self.config.lr)
+        # fused Adam over the policy's flat parameter pack; elementwise
+        # identical to per-parameter Adam
+        self.optimizer = FlatAdam(policy.flat, lr=self.config.lr)
 
     def update(self, rollout: Rollout, rewards: np.ndarray) -> PPOStats:
         """One PPO update from a rollout and its episode rewards.

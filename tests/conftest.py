@@ -1,9 +1,31 @@
-"""Shared fixtures: seeded RNG and cached small problems."""
+"""Shared fixtures: seeded RNG and cached small problems.
+
+The test suite pins the substrate to float64: the gradient checks use
+central finite differences with eps ~1e-6, which only resolve in double
+precision, and the seed's tolerance-based numerics tests were written
+against float64.  The env var is set *before* any ``repro`` import so
+subprocess-style tests (CLI/examples) inherit it; the autouse fixture
+additionally restores the in-process default around every test so the
+float32-specific tests in ``test_nn_engine.py`` cannot leak state.
+"""
+
+import os
+
+os.environ["REPRO_NN_DTYPE"] = "float64"
 
 import numpy as np
 import pytest
 
+from repro.nn.config import get_default_dtype, set_default_dtype
 from repro.problems import combo_problem, nt3_problem, uno_problem
+
+
+@pytest.fixture(autouse=True)
+def _float64_substrate():
+    previous = set_default_dtype(np.float64)
+    assert get_default_dtype() == np.float64
+    yield
+    set_default_dtype(previous)
 
 
 @pytest.fixture
