@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test smoke bench bench-quick
+.PHONY: test smoke chaos bench bench-quick
 
 ## full tier-1 test suite
 test:
@@ -14,6 +14,12 @@ test:
 smoke:
 	$(PYTHON) -m repro.perf --help >/dev/null  # import sanity
 	$(PYTHON) -c "import sys; from repro.perf import smoke; sys.exit(smoke([]))"
+
+## fault-matrix smoke: seeded fault injection at several failure rates,
+## bounded reward degradation; plus the chaos-marked pytest suite
+chaos:
+	$(PYTHON) -m repro.search.chaos
+	$(PYTHON) -m pytest -q -m chaos
 
 ## record substrate baselines into BENCH_substrate.json
 bench:

@@ -14,6 +14,17 @@ A small submission latency models the database round trip.
 Cache hits complete instantly without touching the cluster — agents keep
 agent-local caches (§4) — which is what drives the utilization decay as
 a search converges.
+
+Fault tolerance mirrors the real Balsam job lifecycle.  A job whose
+attempt crashes (task death) or whose node fails under it (preemption
+``Interrupt``) enters ``RUN_ERROR``; with retries remaining it becomes
+``RESTART_ENABLED`` and re-queues after a capped exponential backoff;
+after ``max_retries`` restarts it is ``FAILED`` and its completion
+event still fires — the evaluator surfaces the paper's failure reward
+(−1) instead of hanging the agent's batch barrier.  A job abandoned by
+its batch deadline is ``RUN_TIMEOUT``.  With no
+:class:`~repro.hpc.faults.FaultInjector` configured, none of these
+paths execute and behavior is identical to the failure-free service.
 """
 
 from __future__ import annotations
@@ -21,7 +32,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..hpc.cluster import Cluster
-from ..hpc.sim import AllOf, Event, Simulator, Timeout
+from ..hpc.faults import FaultInjector
+from ..hpc.sim import AllOf, Event, Interrupt, Process, Simulator, Timeout
 from ..nas.arch import Architecture
 from ..rewards.base import EvalResult, RewardModel
 from .base import EvalRecord, Evaluator
@@ -29,10 +41,21 @@ from .cache import EvalCache
 
 __all__ = ["BalsamJob", "BalsamService", "BalsamEvaluator"]
 
+#: terminal job states whose reward is surfaced as FAILURE_REWARD
+_FAILURE_STATES = ("FAILED", "RUN_TIMEOUT")
+
 
 @dataclass
 class BalsamJob:
-    """One row of the job database."""
+    """One row of the job database.
+
+    State machine (matching Balsam's lifecycle)::
+
+        CREATED -> RUNNING -> FINISHED
+                      |-> RUN_ERROR -> RESTART_ENABLED -> RUNNING ...
+                      |                       `-> FAILED (retries gone)
+                      `-> RUN_TIMEOUT (abandoned by its batch deadline)
+    """
 
     job_id: int
     agent_id: int
@@ -41,18 +64,44 @@ class BalsamJob:
     submit_time: float
     start_time: float = -1.0
     end_time: float = -1.0
-    state: str = "CREATED"       # CREATED -> RUNNING -> FINISHED
+    state: str = "CREATED"
     done: Event | None = field(default=None, repr=False)
+    num_retries: int = 0
+    attempts: int = 0
+    error: str = ""
+    proc: Process | None = field(default=None, repr=False)
+    #: (start, end) of every completed or preempted run attempt
+    run_log: list = field(default_factory=list, repr=False)
+
+    @property
+    def failed(self) -> bool:
+        return self.state in _FAILURE_STATES
 
 
 class BalsamService:
-    """Shared job database + launcher over one cluster."""
+    """Shared job database + launcher over one cluster.
+
+    ``faults`` plugs in a :class:`~repro.hpc.faults.FaultInjector`
+    (node failures are injected into the cluster separately via
+    ``injector.attach``); ``max_retries`` / ``retry_backoff`` /
+    ``retry_backoff_cap`` set the restart policy.  All default to the
+    fault-free behavior.
+    """
 
     def __init__(self, sim: Simulator, cluster: Cluster,
-                 submit_latency: float = 0.5) -> None:
+                 submit_latency: float = 0.5,
+                 faults: FaultInjector | None = None,
+                 max_retries: int = 3, retry_backoff: float = 5.0,
+                 retry_backoff_cap: float = 120.0) -> None:
+        if max_retries < 0 or retry_backoff < 0 or retry_backoff_cap < 0:
+            raise ValueError("retry policy values must be non-negative")
         self.sim = sim
         self.cluster = cluster
         self.submit_latency = submit_latency
+        self.faults = faults
+        self.max_retries = max_retries
+        self.retry_backoff = retry_backoff
+        self.retry_backoff_cap = retry_backoff_cap
         self.jobs: list[BalsamJob] = []
 
     def submit(self, agent_id: int, arch: Architecture,
@@ -62,19 +111,70 @@ class BalsamService:
         job = BalsamJob(len(self.jobs), agent_id, arch, result,
                         self.sim.now, done=self.sim.event())
         self.jobs.append(job)
-        self.sim.process(self._pilot(job), name=f"job{job.job_id}")
+        job.proc = self.sim.process(self._pilot(job), name=f"job{job.job_id}")
         return job
 
     def _pilot(self, job: BalsamJob):
         yield Timeout(self.submit_latency)
-        yield self.cluster.acquire()
-        job.state = "RUNNING"
-        job.start_time = self.sim.now
-        yield Timeout(job.result.duration)
-        self.cluster.release()
-        job.state = "FINISHED"
-        job.end_time = self.sim.now
-        job.done.succeed(job)
+        while True:
+            job.attempts += 1
+            if self.faults is not None:
+                # service outage: the launcher cannot dispatch until the
+                # window ends
+                stall = self.faults.outage_delay(self.sim.now)
+                if stall > 0.0:
+                    yield Timeout(stall)
+            fault = (self.faults.job_fault(job.job_id, job.attempts)
+                     if self.faults is not None else None)
+            try:
+                yield self.cluster.acquire(holder=job.proc)
+                if job.failed:
+                    # batch deadline expired while queued; give the node back
+                    self.cluster.release(holder=job.proc)
+                    return
+                job.state = "RUNNING"
+                job.start_time = self.sim.now
+                duration = job.result.duration
+                if fault is not None:
+                    duration *= fault.slowdown
+                if fault is not None and fault.crashes:
+                    # the task dies partway through; the node survives
+                    yield Timeout(duration * fault.crash_frac)
+                    job.run_log.append((job.start_time, self.sim.now))
+                    self.cluster.release(holder=job.proc)
+                    if job.failed:
+                        return          # abandoned mid-run by its deadline
+                    job.state = "RUN_ERROR"
+                    job.error = "task crashed"
+                else:
+                    yield Timeout(duration)
+                    job.run_log.append((job.start_time, self.sim.now))
+                    self.cluster.release(holder=job.proc)
+                    if job.failed:
+                        return          # abandoned mid-run by its deadline
+                    job.state = "FINISHED"
+                    job.end_time = self.sim.now
+                    job.done.succeed(job)
+                    return
+            except Interrupt as intr:
+                # the node died under us: the lease is already revoked,
+                # so there is nothing to release
+                if job.start_time >= 0:
+                    job.run_log.append((job.start_time, self.sim.now))
+                if job.failed:
+                    return          # deadline had already abandoned it
+                job.state = "RUN_ERROR"
+                job.error = f"node failure ({intr.cause})"
+            if job.num_retries >= self.max_retries:
+                job.state = "FAILED"
+                job.end_time = self.sim.now
+                job.done.succeed(job)
+                return
+            job.num_retries += 1
+            job.state = "RESTART_ENABLED"
+            backoff = min(self.retry_backoff * 2.0 ** (job.num_retries - 1),
+                          self.retry_backoff_cap)
+            yield Timeout(backoff)
 
     # -- monitoring (the paper's Balsam utilization inference) -----------
     def utilization_trace(self, end_time: float, bin_width: float = 60.0):
@@ -84,6 +184,14 @@ class BalsamService:
     def num_finished(self) -> int:
         return sum(1 for j in self.jobs if j.state == "FINISHED")
 
+    @property
+    def num_failed(self) -> int:
+        return sum(1 for j in self.jobs if j.failed)
+
+    @property
+    def num_restarts(self) -> int:
+        return sum(j.num_retries for j in self.jobs)
+
 
 class BalsamEvaluator(Evaluator):
     """Per-agent evaluator backed by the shared Balsam service.
@@ -91,20 +199,30 @@ class BalsamEvaluator(Evaluator):
     ``add_eval_batch`` returns an event that fires when the whole batch
     has finished — the per-agent batch synchronization the paper notes
     ("the estimation of M rewards per agent was blocking").
+
+    ``batch_deadline`` bounds that barrier: any job still unfinished
+    that many virtual seconds after submission is abandoned
+    (``RUN_TIMEOUT``) and surfaced with ``FAILURE_REWARD``, so a lost
+    job can never hang the agent.  ``None`` (default) waits forever,
+    which is safe whenever a fault-free service is used.
     """
 
     def __init__(self, service: BalsamService, reward_model: RewardModel,
-                 agent_id: int, use_cache: bool = True) -> None:
+                 agent_id: int, use_cache: bool = True,
+                 batch_deadline: float | None = None) -> None:
         super().__init__(agent_id)
+        if batch_deadline is not None and batch_deadline <= 0:
+            raise ValueError("batch_deadline must be positive")
         self.service = service
         self.reward_model = reward_model
         self.cache = EvalCache() if use_cache else None
+        self.batch_deadline = batch_deadline
         self._finished: list[EvalRecord] = []
         self.last_batch_all_cached = False
 
     def add_eval_batch(self, archs: list[Architecture]) -> Event:
         sim = self.service.sim
-        pending: list[Event] = []
+        jobs: list[BalsamJob] = []
         all_cached = True
         for arch in archs:
             self.num_submitted += 1
@@ -117,15 +235,35 @@ class BalsamEvaluator(Evaluator):
                 continue
             all_cached = False
             result = self.reward_model.evaluate(arch, agent_seed=self.agent_id)
-            job = self.service.submit(self.agent_id, arch, result)
-            pending.append(job.done)
+            jobs.append(self.service.submit(self.agent_id, arch, result))
+        # NOTE: an *empty* batch is reported as not-all-cached — absence
+        # of submissions is no evidence of cache convergence
         self.last_batch_all_cached = all_cached and bool(archs)
 
         batch_done = sim.event()
+        if not jobs:
+            # empty or fully cached batch: nothing to wait for — succeed
+            # immediately instead of spawning a finisher over AllOf([])
+            batch_done.succeed()
+            return batch_done
 
         def finisher():
-            jobs = yield AllOf(pending)
-            for job in jobs:
+            done_jobs = yield AllOf([job.done for job in jobs])
+            for job in done_jobs:
+                if job.failed:
+                    # retries exhausted or batch deadline hit: surface the
+                    # paper's failure reward; never cached, so the same
+                    # architecture may be re-attempted later
+                    self.num_failed += 1
+                    failure = EvalResult(RewardModel.FAILURE_REWARD,
+                                         job.result.duration,
+                                         job.result.params)
+                    start = (job.start_time if job.start_time >= 0
+                             else job.submit_time)
+                    self._finished.append(EvalRecord(
+                        job.arch, failure, self.agent_id, job.submit_time,
+                        start, sim.now))
+                    continue
                 if self.cache is not None:
                     self.cache.put(job.arch, job.result)
                 self._finished.append(EvalRecord(
@@ -134,6 +272,18 @@ class BalsamEvaluator(Evaluator):
             batch_done.succeed()
 
         sim.process(finisher(), name=f"agent{self.agent_id}.batch")
+
+        if self.batch_deadline is not None:
+            def watchdog():
+                yield Timeout(self.batch_deadline)
+                for job in jobs:
+                    if not job.done.triggered:
+                        job.state = "RUN_TIMEOUT"
+                        job.error = "batch deadline exceeded"
+                        job.end_time = sim.now
+                        job.done.succeed(job)
+
+            sim.process(watchdog(), name=f"agent{self.agent_id}.deadline")
         return batch_done
 
     def get_finished_evals(self) -> list[EvalRecord]:

@@ -42,12 +42,20 @@ class EvalRecord:
 
 
 class Evaluator:
-    """Abstract evaluator; see module docstring for the contract."""
+    """Abstract evaluator; see module docstring for the contract.
+
+    ``num_failed`` counts evaluations that could not produce a real
+    reward — a worker exception, a job whose retries were exhausted, or
+    a batch-deadline abandonment.  Backends surface these as
+    ``FAILURE_REWARD`` records rather than raising into the search
+    loop, so the stat is the only trace the caller sees.
+    """
 
     def __init__(self, agent_id: int = 0) -> None:
         self.agent_id = agent_id
         self.num_submitted = 0
         self.num_cache_hits = 0
+        self.num_failed = 0
 
     def add_eval_batch(self, archs: list[Architecture]):
         raise NotImplementedError

@@ -39,6 +39,22 @@ class EvalCache:
     def __contains__(self, arch: Architecture) -> bool:
         return arch.key in self._store
 
+    # -- checkpoint support -------------------------------------------
+    def snapshot(self, limit: int | None = None) -> list:
+        """First ``limit`` (key, result) entries in insertion order.
+
+        The store is insertion-ordered and append-only (re-putting a key
+        stores an identical result), so "the cache as of iteration N" is
+        exactly its first ``cache_len(N)`` entries — which is what search
+        checkpoints record instead of copying the dict every iteration.
+        """
+        items = list(self._store.items())
+        return items if limit is None else items[:limit]
+
+    def restore(self, entries: list) -> None:
+        """Replace the store with checkpointed (key, result) entries."""
+        self._store = dict(entries)
+
     def __len__(self) -> int:
         return len(self._store)
 

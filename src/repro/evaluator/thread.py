@@ -17,7 +17,7 @@ import time
 from concurrent.futures import Future, ThreadPoolExecutor, wait
 
 from ..nas.arch import Architecture
-from ..rewards.base import RewardModel
+from ..rewards.base import EvalResult, RewardModel
 from .base import EvalRecord, Evaluator
 from .cache import EvalCache
 
@@ -55,7 +55,18 @@ class ThreadEvaluator(Evaluator):
         still_pending = []
         for arch, submit, future in self._pending:
             if future.done():
-                result = future.result()
+                try:
+                    result = future.result()
+                except Exception:       # noqa: BLE001 — worker died; any
+                    # reward-model exception becomes a failure record
+                    # instead of propagating into the caller's drain loop
+                    self.num_failed += 1
+                    result = EvalResult(RewardModel.FAILURE_REWARD,
+                                        max(0.0, self.clock() - submit), 0)
+                    self._finished.append(EvalRecord(
+                        arch, result, self.agent_id, submit, submit,
+                        self.clock()))
+                    continue
                 if self.cache is not None:
                     self.cache.put(arch, result)
                 self._finished.append(EvalRecord(

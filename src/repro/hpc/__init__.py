@@ -2,11 +2,13 @@
 
 from .cluster import Cluster, NodeAllocation
 from .costmodel import TrainingCostModel
+from .faults import FaultConfig, FaultInjector, JobFault
 from .monitor import (JobTableStats, job_table_stats, throughput_trace,
                       utilization_from_jobs)
 from .sim import AllOf, Event, Interrupt, Process, Simulator, Timeout
 
-__all__ = ["AllOf", "Cluster", "Event", "Interrupt", "JobTableStats",
+__all__ = ["AllOf", "Cluster", "Event", "FaultConfig", "FaultInjector",
+           "Interrupt", "JobFault", "JobTableStats",
            "NodeAllocation", "Process", "Simulator", "Timeout",
            "TrainingCostModel", "job_table_stats", "throughput_trace",
            "utilization_from_jobs"]

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from .sim import Event, Simulator
+from .sim import Event, Process, Simulator
 
 __all__ = ["NodeAllocation", "Cluster"]
 
@@ -77,11 +77,20 @@ class NodeAllocation:
 
 
 class Cluster:
-    """Worker-node pool with occupancy tracking.
+    """Worker-node pool with occupancy tracking and node failures.
 
     ``acquire``/``release`` manage single-node leases; waiters queue
     FIFO.  Every occupancy change appends a ``(time, busy)`` sample, so
     utilization can be integrated exactly after the run.
+
+    A lease holder may register its :class:`~repro.hpc.sim.Process` on
+    ``acquire`` so that :meth:`fail_node` can preempt it: the failed
+    node's pilot receives an ``Interrupt`` and its lease is revoked
+    (the pilot must *not* release).  ``fail_node``/``repair_node``
+    shrink and grow the in-service capacity; failure events are recorded
+    in the utilization samples and in :attr:`fault_events`.  With no
+    failures injected, the holder machinery is inert and behavior is
+    identical to a failure-free pool.
     """
 
     def __init__(self, sim: Simulator, worker_nodes: int) -> None:
@@ -89,45 +98,116 @@ class Cluster:
             raise ValueError("worker_nodes must be positive")
         self.sim = sim
         self.worker_nodes = worker_nodes
+        #: allocation-time capacity; utilization is normalized by this
+        #: fixed denominator even while failures shrink ``worker_nodes``
+        self.nominal_worker_nodes = worker_nodes
         self.busy = 0
-        self._wait_queue: list[Event] = []
+        self._wait_queue: list[tuple[Event, Process | None]] = []
+        self._holders: list[Process] = []
         self.samples: list[tuple[float, int]] = [(0.0, 0)]
+        #: (time, "fail" | "repair") log of capacity changes
+        self.fault_events: list[tuple[float, str]] = []
+        self.num_failures = 0
+        self.num_repairs = 0
 
     @property
     def idle(self) -> int:
-        return self.worker_nodes - self.busy
+        return max(0, self.worker_nodes - self.busy)
+
+    @property
+    def holders(self) -> tuple[Process, ...]:
+        """Processes currently holding a node lease (registered only)."""
+        return tuple(self._holders)
 
     def _record(self) -> None:
         self.samples.append((self.sim.now, self.busy))
 
-    def try_acquire(self) -> bool:
+    def _grant(self, holder: Process | None) -> None:
+        if holder is not None:
+            self._holders.append(holder)
+
+    def try_acquire(self, holder: Process | None = None) -> bool:
         """Take a node if one is idle; non-blocking."""
         if self.busy < self.worker_nodes:
             self.busy += 1
+            self._grant(holder)
             self._record()
             return True
         return False
 
-    def acquire(self) -> Event:
-        """Yieldable: fires when a node has been granted to the caller."""
+    def acquire(self, holder: Process | None = None) -> Event:
+        """Yieldable: fires when a node has been granted to the caller.
+
+        ``holder`` (optional) registers the acquiring process for
+        preemption by :meth:`fail_node`.
+        """
         ev = self.sim.event()
         if self.busy < self.worker_nodes:
             self.busy += 1
+            self._grant(holder)
             self._record()
             ev.succeed()
         else:
-            self._wait_queue.append(ev)
+            self._wait_queue.append((ev, holder))
         return ev
 
-    def release(self) -> None:
+    def release(self, holder: Process | None = None) -> None:
         if self.busy <= 0:
             raise RuntimeError("release without matching acquire")
-        if self._wait_queue:
+        if holder is not None:
+            try:
+                self._holders.remove(holder)
+            except ValueError:
+                pass
+        if self._wait_queue and self.busy <= self.worker_nodes:
             # hand the node directly to the next waiter: occupancy unchanged
-            self._wait_queue.pop(0).succeed()
+            ev, next_holder = self._wait_queue.pop(0)
+            self._grant(next_holder)
+            ev.succeed()
         else:
+            # no waiter — or capacity shrank below occupancy and this
+            # lease must be shed rather than handed over
             self.busy -= 1
             self._record()
+
+    # -- failures -------------------------------------------------------
+    def fail_node(self, victim: Process | None = None) -> bool:
+        """Take one node out of service.
+
+        ``victim``, when given, must be a registered lease holder: its
+        lease is revoked and it receives an ``Interrupt`` (the running
+        pilot is preempted).  With no victim, an idle node is removed —
+        or, if none is idle, capacity simply drops below occupancy and
+        the next release sheds the surplus lease.  Returns ``False``
+        when capacity is already zero.
+        """
+        if self.worker_nodes <= 0:
+            return False
+        self.worker_nodes -= 1
+        self.num_failures += 1
+        self.fault_events.append((self.sim.now, "fail"))
+        if victim is not None:
+            try:
+                self._holders.remove(victim)
+            except ValueError:
+                victim = None       # lease already gone; treat as idle kill
+            else:
+                self.busy -= 1
+                victim.interrupt("node_failure")
+        self._record()
+        return True
+
+    def repair_node(self) -> None:
+        """Return one node to service; grant it to the oldest waiter."""
+        self.worker_nodes += 1
+        self.num_repairs += 1
+        self.fault_events.append((self.sim.now, "repair"))
+        if self._wait_queue and self.busy < self.worker_nodes:
+            ev, holder = self._wait_queue.pop(0)
+            self.busy += 1
+            self._grant(holder)
+            ev.succeed()
+        self._record()
 
     # -- utilization --------------------------------------------------
     def utilization_trace(self, end_time: float, bin_width: float = 1.0
@@ -152,12 +232,17 @@ class Cluster:
                 busy = sb
                 idx += 1
             area += busy * (t_next - cur)
-            trace.append((t_next, area / ((t_next - t) * self.worker_nodes)))
+            trace.append((t_next,
+                          area / ((t_next - t) * self.nominal_worker_nodes)))
             t = t_next
         return trace
 
     def mean_utilization(self, end_time: float) -> float:
-        """Exact time-averaged utilization over [0, end_time]."""
+        """Exact time-averaged utilization over [0, end_time].
+
+        Samples past ``end_time`` (e.g. retries draining after the
+        search stopped) are clamped and contribute nothing.
+        """
         samples = self.samples + [(end_time, self.busy)]
         area = 0.0
         prev_t, prev_b = samples[0]
@@ -166,4 +251,4 @@ class Cluster:
             if t > prev_t:
                 area += prev_b * (t - prev_t)
             prev_t, prev_b = t, b
-        return area / (end_time * self.worker_nodes)
+        return area / (end_time * self.nominal_worker_nodes)

@@ -178,6 +178,17 @@ class FlatAdam(FlatOptimizer):
         v += (1.0 - self.beta2) * g * g
         self.flat.values -= self.lr * (m / b1t) / (np.sqrt(v / b2t) + self.eps)
 
+    # -- checkpoint support -------------------------------------------
+    def export_state(self) -> dict:
+        """Copy of the moment state (search checkpoints must restore it:
+        resuming with zeroed moments changes every subsequent update)."""
+        return {"t": self.t, "m": self._m.copy(), "v": self._v.copy()}
+
+    def restore_state(self, state: dict) -> None:
+        self.t = int(state["t"])
+        self._m[:] = np.asarray(state["m"], dtype=self._m.dtype)
+        self._v[:] = np.asarray(state["v"], dtype=self._v.dtype)
+
 
 _OPTIMIZERS = {"sgd": SGD, "adam": Adam, "flat_sgd": FlatSGD,
                "flat_adam": FlatAdam}

@@ -231,6 +231,16 @@ def smoke(argv: list[str] | None = None) -> int:
         return code
     print("smoke: tests passed; timing one quick benchmark pass")
     run_suite(repeats=3)
+    print("smoke: quick fault-matrix pass (see 'make chaos' for the "
+          "full matrix)")
+    from repro.search.chaos import check_rows, fault_matrix
+    rows = fault_matrix(minutes=20.0)
+    problems = check_rows(rows, tolerance=0.10)
+    for problem in problems:
+        print(f"smoke: chaos FAIL — {problem}")
+    if problems:
+        return 1
+    print("smoke: fault matrix within tolerance")
     return 0
 
 

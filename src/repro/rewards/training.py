@@ -62,8 +62,9 @@ class TrainingReward(RewardModel):
                                         problem.input_shapes,
                                         problem.head_ops)
             model = plan.materialize(np.random.default_rng(seed))
-        except (ValueError, KeyError):
+        except (ValueError, KeyError, FloatingPointError, OverflowError):
             # invalid architecture (e.g. pooling exhausted the sequence)
+            # or a numerically degenerate build
             return EvalResult(self.FAILURE_REWARD, self.clock() - start, 0)
 
         trainer = Trainer(loss=problem.loss, metric=problem.metric,
@@ -72,7 +73,14 @@ class TrainingReward(RewardModel):
                           train_fraction=fraction,
                           seed=seed, clock=self.clock)
         ds = problem.dataset
-        hist = trainer.fit(model, ds.x_train, ds.y_train, ds.x_val, ds.y_val)
+        try:
+            hist = trainer.fit(model, ds.x_train, ds.y_train,
+                               ds.x_val, ds.y_val)
+        except (FloatingPointError, OverflowError):
+            # numerical blowup mid-training (exploding activations or
+            # gradients): a bad architecture, not a crashed agent
+            return EvalResult(self.FAILURE_REWARD, self.clock() - start,
+                              plan.total_params)
         reward = hist.val_metric
         if not np.isfinite(reward):
             reward = self.FAILURE_REWARD

@@ -51,9 +51,12 @@ class ParameterServer:
         # "a set of recently received gradients")
         window = staleness_window or max(1, num_agents // 2)
         self._recent: deque[np.ndarray] = deque(maxlen=window)
-        # sync state
+        # sync state; pushes are tagged with their agent id (when given)
+        # so checkpoints can attribute in-flight barrier pushes
         self._pending: list[np.ndarray] = []
+        self._pending_agents: list[int | None] = []
         self._waiters: list[Event] = []
+        self.num_failed_agents = 0
         # timed-service state: the PS node handles one push at a time
         self._busy_until = 0.0
 
@@ -95,7 +98,8 @@ class ParameterServer:
         return max(0.0, self._busy_until - self.sim.now)
 
     # -- sync (A2C) ---------------------------------------------------------
-    def push_sync(self, delta: np.ndarray) -> Event:
+    def push_sync(self, delta: np.ndarray, agent_id: int | None = None
+                  ) -> Event:
         """Submit an update; the returned event fires with the round's
         average once every active agent has pushed."""
         if self.mode != "sync":
@@ -103,15 +107,21 @@ class ParameterServer:
         self.num_pushes += 1
         ev = self.sim.event()
         self._pending.append(np.asarray(delta, dtype=np.float64))
+        self._pending_agents.append(agent_id)
         self._waiters.append(ev)
         self._maybe_release()
         return ev
 
-    def deregister(self) -> None:
-        """An agent leaves (converged/stopped); shrink the barrier."""
+    def deregister(self, failed: bool = False) -> None:
+        """An agent leaves (converged, stopped, or crashed); shrink the
+        barrier.  In sync mode the remaining agents' barrier re-checks
+        immediately, so an agent that dies mid-round — before or after
+        its own push — can never deadlock the others."""
         self.active_agents -= 1
         if self.active_agents < 0:
             raise RuntimeError("more deregistrations than agents")
+        if failed:
+            self.num_failed_agents += 1
         if self.mode == "sync":
             self._maybe_release()
 
@@ -120,7 +130,42 @@ class ParameterServer:
             avg = np.mean(self._pending, axis=0)
             waiters, self._waiters = self._waiters, []
             self._pending = []
+            self._pending_agents = []
             self.num_rounds += 1
             delay = self.latency
             for ev in waiters:
                 self.sim._schedule(delay, lambda _v, e=ev: e.succeed(avg), None)
+
+    # -- checkpoint support ------------------------------------------------
+    def export_state(self) -> dict:
+        """Serializable snapshot for search checkpoints.
+
+        Pushes of the current (unreleased) sync round are *excluded*:
+        they belong to in-flight agent iterations that a resumed search
+        replays from their iteration boundaries, so they will be pushed
+        again.
+        """
+        return {
+            "mode": self.mode,
+            "active_agents": self.active_agents,
+            "num_rounds": self.num_rounds,
+            "num_pushes": self.num_pushes - len(self._pending),
+            "num_failed_agents": self.num_failed_agents,
+            "recent": [v.tolist() for v in self._recent],
+        }
+
+    def restore_state(self, state: dict) -> None:
+        if state["mode"] != self.mode:
+            raise ValueError(
+                f"checkpoint is for a {state['mode']!r} server, "
+                f"this one is {self.mode!r}")
+        self.active_agents = int(state["active_agents"])
+        self.num_rounds = int(state["num_rounds"])
+        self.num_pushes = int(state["num_pushes"])
+        self.num_failed_agents = int(state.get("num_failed_agents", 0))
+        self._recent.clear()
+        for vec in state["recent"]:
+            self._recent.append(np.asarray(vec, dtype=np.float64))
+        self._pending = []
+        self._pending_agents = []
+        self._waiters = []

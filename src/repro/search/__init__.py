@@ -1,11 +1,16 @@
 """Parallel NAS search strategies: A3C, A2C and random search (RDM)."""
 
 from ..hpc.cluster import NodeAllocation
+from ..hpc.faults import FaultConfig
 from .base import RewardRecord, SearchConfig, SearchResult
+from .checkpoint import AgentCheckpoint, SearchCheckpoint
 from .evolution import EvolutionConfig, EvolutionSearch, run_evolution
-from .runner import NasSearch, run_search
+from .runner import NasSearch, resume_search, run_search
 
-__all__ = ['EvolutionConfig', 'EvolutionSearch', 'NasSearch', 'NodeAllocation', 'RewardRecord', 'SearchConfig', 'SearchResult', 'run_evolution', 'run_search']
+__all__ = ['AgentCheckpoint', 'EvolutionConfig', 'EvolutionSearch',
+           'FaultConfig', 'NasSearch', 'NodeAllocation', 'RewardRecord',
+           'SearchCheckpoint', 'SearchConfig', 'SearchResult',
+           'resume_search', 'run_evolution', 'run_search']
 
 
 def a3c_config(**kwargs) -> SearchConfig:

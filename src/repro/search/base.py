@@ -7,6 +7,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..hpc.cluster import Cluster, NodeAllocation
+from ..hpc.faults import FaultConfig
 from ..nas.arch import Architecture
 
 __all__ = ["SearchConfig", "RewardRecord", "SearchResult"]
@@ -56,12 +57,36 @@ class SearchConfig:
     #: servers (§7's "multiparameter servers"); each serves its slice in
     #: ps_service_time / ps_shards
     ps_shards: int = 1
+    #: fault model driving node failures, job crashes, stragglers and
+    #: service outages (None = fault layer fully inert)
+    faults: FaultConfig | None = None
+    #: abandon any evaluation still unfinished this many virtual seconds
+    #: after batch submission, so the per-agent barrier always releases
+    #: (None = wait forever; safe only with a fault-free service)
+    batch_deadline: float | None = None
+    #: Balsam restart policy: max restarts per job, then the base and
+    #: cap of the capped-exponential retry backoff (virtual seconds)
+    max_eval_retries: int = 3
+    retry_backoff: float = 5.0
+    retry_backoff_cap: float = 120.0
+    #: capture a resumable search checkpoint every this many virtual
+    #: seconds (None = checkpointing off)
+    checkpoint_interval: float | None = None
+    #: also write the most recent checkpoint to this JSON file
+    checkpoint_path: str | None = None
 
     def __post_init__(self) -> None:
         if self.method not in ("a3c", "a2c", "rdm"):
             raise ValueError(f"unknown method {self.method!r}")
         if self.wall_time <= 0:
             raise ValueError("wall_time must be positive")
+        if self.batch_deadline is not None and self.batch_deadline <= 0:
+            raise ValueError("batch_deadline must be positive")
+        if self.checkpoint_interval is not None \
+                and self.checkpoint_interval <= 0:
+            raise ValueError("checkpoint_interval must be positive")
+        if self.max_eval_retries < 0:
+            raise ValueError("max_eval_retries must be non-negative")
 
 
 @dataclass(frozen=True)
@@ -88,6 +113,12 @@ class SearchResult:
     end_time: float                  # virtual seconds when the run stopped
     converged: bool                  # stopped early on full-cache convergence
     unique_architectures: int
+    #: (agent_id, reason) for agents that crashed rather than finishing;
+    #: crashed agents deregister cleanly and never deadlock the rest
+    failed_agents: list = field(default_factory=list)
+    #: evaluations surfaced as FAILURE_REWARD (retries exhausted,
+    #: batch-deadline abandonment) across all agents
+    num_failed_evals: int = 0
 
     @property
     def num_evaluations(self) -> int:

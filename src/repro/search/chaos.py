@@ -1,0 +1,159 @@
+"""Chaos harness: fault-matrix smoke of the fault-tolerant pipeline.
+
+``make chaos`` / ``repro-chaos`` runs the same seeded NAS search under a
+matrix of fault levels — none, light, moderate, heavy — and checks the
+robustness invariants the fault layer promises:
+
+* every run **completes** (no agent lost to a deadlocked barrier; the
+  batch deadline and Balsam retry policy always release it);
+* failures are **accounted for**, not silently dropped (failed
+  evaluations surface as the paper's −1 failure reward);
+* the search **degrades gracefully**: the best discovered reward stays
+  within a small tolerance of the fault-free run's, because Balsam
+  restarts failed tasks and the agents keep searching (§4's "tracks job
+  states and restarts failed tasks").
+
+The fault-free row doubles as a canary: it must behave bit-identically
+to a search with no fault layer at all.
+
+Run via ``make chaos`` or::
+
+    PYTHONPATH=src python -m repro.search.chaos --minutes 45
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from ..hpc import NodeAllocation, TrainingCostModel
+from ..hpc.faults import FaultConfig
+from ..nas.spaces import combo_small
+from ..problems.combo import COMBO_PAPER_SHAPES, combo_head
+from ..rewards import SurrogateReward
+from .base import SearchConfig
+from .runner import NasSearch
+
+__all__ = ["fault_levels", "fault_matrix", "main"]
+
+#: default chaos allocation: small enough to run in seconds, large
+#: enough that node failures hit busy pilots
+_ALLOCATION = NodeAllocation(32, 4, 3)
+
+
+def fault_levels(minutes: float, seed: int) -> list[tuple[str,
+                                                          FaultConfig | None]]:
+    """The fault matrix: (name, config) rows, fault-free first.
+
+    Rates scale with the run length so every faulted level actually
+    fires: "light" sees a few node failures, "heavy" adds frequent
+    failures, job crashes, stragglers, and a mid-run service outage.
+    """
+    span = minutes * 60.0
+    return [
+        ("none", None),
+        ("light", FaultConfig(node_mtbf=4.0 * span,
+                              node_repair_time=span / 10.0,
+                              job_crash_prob=0.01, seed=seed)),
+        ("moderate", FaultConfig(node_mtbf=2.0 * span,
+                                 node_repair_time=span / 10.0,
+                                 job_crash_prob=0.02,
+                                 straggler_prob=0.05, seed=seed)),
+        ("heavy", FaultConfig(node_mtbf=span,
+                              node_repair_time=span / 8.0,
+                              job_crash_prob=0.05,
+                              straggler_prob=0.10,
+                              outages=((0.45 * span, 0.55 * span),),
+                              seed=seed)),
+    ]
+
+
+def fault_matrix(minutes: float = 45.0, seed: int = 1,
+                 method: str = "a3c") -> list[dict]:
+    """Run the matrix; returns one result row per fault level."""
+    space = combo_small()
+    rows = []
+    for name, faults in fault_levels(minutes, seed):
+        reward_model = SurrogateReward(
+            space, COMBO_PAPER_SHAPES, combo_head(),
+            TrainingCostModel.combo_paper(),
+            epochs=1, train_fraction=0.1, timeout=600.0,
+            log_params_opt=6.5, seed=7)
+        cfg = SearchConfig(
+            method=method, allocation=_ALLOCATION,
+            wall_time=minutes * 60.0, seed=seed,
+            faults=faults,
+            batch_deadline=(None if faults is None else minutes * 60.0 / 4))
+        search = NasSearch(space, reward_model, cfg)
+        result = search.run()
+        rows.append({
+            "level": name,
+            "evaluations": result.num_evaluations,
+            "best_reward": (result.best().reward
+                            if result.records else float("-inf")),
+            "failed_evals": result.num_failed_evals,
+            "failed_agents": len(result.failed_agents),
+            "node_failures": search.cluster.num_failures,
+            "job_restarts": search.service.num_restarts,
+            "mean_utilization": search.cluster.mean_utilization(
+                result.end_time),
+            "end_time": result.end_time,
+        })
+    return rows
+
+
+def check_rows(rows: list[dict], tolerance: float = 0.05) -> list[str]:
+    """Robustness invariants over a fault-matrix result; returns the
+    list of violations (empty = pass)."""
+    problems = []
+    baseline = rows[0]
+    for row in rows:
+        if row["failed_agents"]:
+            problems.append(
+                f"{row['level']}: {row['failed_agents']} agent(s) lost")
+        if row["evaluations"] == 0:
+            problems.append(f"{row['level']}: produced no evaluations")
+    for row in rows[1:]:
+        drop = baseline["best_reward"] - row["best_reward"]
+        if drop > tolerance * abs(baseline["best_reward"]):
+            problems.append(
+                f"{row['level']}: best reward degraded by {drop:.4f} "
+                f"(> {tolerance:.0%} of fault-free "
+                f"{baseline['best_reward']:.4f})")
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-chaos",
+        description="fault-matrix smoke of the fault-tolerant pipeline")
+    parser.add_argument("--minutes", type=float, default=45.0,
+                        help="virtual wall time per run (default 45)")
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--method", default="a3c",
+                        choices=("a3c", "a2c", "rdm"))
+    parser.add_argument("--tolerance", type=float, default=0.05,
+                        help="allowed best-reward degradation vs "
+                             "fault-free, as a fraction (default 0.05)")
+    args = parser.parse_args(argv)
+
+    rows = fault_matrix(minutes=args.minutes, seed=args.seed,
+                        method=args.method)
+    header = (f"{'level':10s} {'evals':>6s} {'best':>8s} {'failed':>7s} "
+              f"{'lost':>5s} {'nodefail':>8s} {'restarts':>8s} {'util':>6s}")
+    print(header)
+    for row in rows:
+        print(f"{row['level']:10s} {row['evaluations']:6d} "
+              f"{row['best_reward']:8.4f} {row['failed_evals']:7d} "
+              f"{row['failed_agents']:5d} {row['node_failures']:8d} "
+              f"{row['job_restarts']:8d} {row['mean_utilization']:6.3f}")
+
+    problems = check_rows(rows, tolerance=args.tolerance)
+    for problem in problems:
+        print(f"chaos: FAIL — {problem}")
+    if not problems:
+        print("chaos: all fault levels within tolerance")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -18,15 +18,30 @@ limit, whichever is first — matching the paper's runs, where A3C on
 Combo/NT3 ended early "because all the agents generate the same
 architecture for which the agent-specific cache returns the same
 reward".
+
+Fault tolerance (see ``docs/robustness.md``): a
+:class:`~repro.hpc.faults.FaultConfig` on the search config drives node
+failures, job crashes, stragglers and service outages; the Balsam
+service retries failed jobs with capped exponential backoff and
+surfaces exhausted jobs as failure rewards; a crashed agent coroutine
+deregisters from the parameter server cleanly (no deadlocked barrier)
+and is reported in ``SearchResult.failed_agents``; and
+``checkpoint_interval`` captures resumable
+:class:`~repro.search.checkpoint.SearchCheckpoint` snapshots from which
+a killed search continues deterministically.  With none of these knobs
+set, the loop is byte-for-byte the fault-free search.
 """
 
 from __future__ import annotations
+
+import copy
 
 import numpy as np
 
 from ..evaluator.balsam import BalsamEvaluator, BalsamService
 from ..hpc.cluster import Cluster
-from ..hpc.sim import Simulator, Timeout
+from ..hpc.faults import FaultInjector
+from ..hpc.sim import Interrupt, Simulator, Timeout
 from ..nas.space import Structure
 from ..rewards.base import RewardModel
 from ..rl.parameter_server import ParameterServer
@@ -34,46 +49,70 @@ from ..rl.policy import LSTMPolicy
 from ..rl.sharded_ps import ShardedParameterServer
 from ..rl.ppo import PPOConfig, PPOUpdater
 from .base import RewardRecord, SearchConfig, SearchResult
+from .checkpoint import AgentBoundary, AgentCheckpoint, SearchCheckpoint
 
-__all__ = ["NasSearch", "run_search"]
+__all__ = ["NasSearch", "run_search", "resume_search"]
 
 
 class NasSearch:
-    """Binds a search space + reward model to a :class:`SearchConfig`."""
+    """Binds a search space + reward model to a :class:`SearchConfig`.
+
+    ``resume_from`` restarts a previously checkpointed search: finished
+    agents stay finished, unfinished agents restart at their recorded
+    iteration boundaries with restored policy/RNG/cache state, and the
+    parameter server resumes its exchange history.
+    """
 
     def __init__(self, space: Structure, reward_model: RewardModel,
-                 config: SearchConfig | None = None) -> None:
+                 config: SearchConfig | None = None,
+                 resume_from: SearchCheckpoint | None = None) -> None:
         self.space = space
         self.reward_model = reward_model
         self.config = config or SearchConfig()
+        cfg = self.config
 
         self.sim = Simulator()
-        alloc = self.config.allocation
+        alloc = cfg.allocation
         self.cluster = Cluster(self.sim, alloc.worker_nodes)
-        self.service = BalsamService(self.sim, self.cluster)
+        self.injector = (FaultInjector(self.sim, cfg.faults)
+                         if cfg.faults is not None and cfg.faults.enabled
+                         else None)
+        self.service = BalsamService(
+            self.sim, self.cluster, faults=self.injector,
+            max_retries=cfg.max_eval_retries,
+            retry_backoff=cfg.retry_backoff,
+            retry_backoff_cap=cfg.retry_backoff_cap)
         self.records: list[RewardRecord] = []
         self._converged_agents = 0
+        self._failed_agents: list[tuple[int, str]] = []
+        self._done_agents: dict[int, bool] = {}    # agent_id -> converged
+        self._boundaries: dict[int, AgentBoundary] = {}
+        self._resume: dict[int, AgentBoundary] = {}
+        self._search_end_time: float | None = None
+        self._ckpt_proc = None
+        #: checkpoints captured during run() (newest last)
+        self.checkpoints: list[SearchCheckpoint] = []
 
         n = alloc.num_agents
         dims = space.action_dims
-        if self.config.method == "a2c":
+        if cfg.method == "a2c":
             self.ps: ParameterServer | ShardedParameterServer | None = \
                 ParameterServer(self.sim, n, mode="sync",
-                                staleness_window=self.config.staleness_window)
-        elif self.config.method == "a3c":
-            if self.config.ps_shards > 1:
-                probe = LSTMPolicy(dims, hidden=self.config.hidden,
-                                   embed_dim=self.config.embed_dim, seed=0)
+                                staleness_window=cfg.staleness_window)
+        elif cfg.method == "a3c":
+            if cfg.ps_shards > 1:
+                probe = LSTMPolicy(dims, hidden=cfg.hidden,
+                                   embed_dim=cfg.embed_dim, seed=0)
                 self.ps = ShardedParameterServer(
                     self.sim, n, vector_size=probe.num_params,
-                    num_shards=self.config.ps_shards,
-                    staleness_window=self.config.staleness_window,
-                    service_time=self.config.ps_service_time)
+                    num_shards=cfg.ps_shards,
+                    staleness_window=cfg.staleness_window,
+                    service_time=cfg.ps_service_time)
             else:
                 self.ps = ParameterServer(
                     self.sim, n, mode="async",
-                    staleness_window=self.config.staleness_window,
-                    service_time=self.config.ps_service_time)
+                    staleness_window=cfg.staleness_window,
+                    service_time=cfg.ps_service_time)
         else:
             self.ps = None
 
@@ -83,53 +122,131 @@ class NasSearch:
         for agent_id in range(n):
             self.evaluators.append(BalsamEvaluator(
                 self.service, reward_model, agent_id,
-                use_cache=self.config.use_cache))
-            if self.config.method == "rdm":
+                use_cache=cfg.use_cache,
+                batch_deadline=cfg.batch_deadline))
+            if cfg.method == "rdm":
                 self.policies.append(None)
                 self.updaters.append(None)
             else:
-                init_seed = (self.config.seed if self.config.shared_policy_init
-                             else self.config.seed * 10_000 + agent_id)
-                policy = LSTMPolicy(dims, hidden=self.config.hidden,
-                                    embed_dim=self.config.embed_dim,
+                init_seed = (cfg.seed if cfg.shared_policy_init
+                             else cfg.seed * 10_000 + agent_id)
+                policy = LSTMPolicy(dims, hidden=cfg.hidden,
+                                    embed_dim=cfg.embed_dim,
                                     seed=init_seed)
                 self.policies.append(policy)
                 self.updaters.append(PPOUpdater(policy, PPOConfig(
-                    clip=self.config.ppo_clip, epochs=self.config.ppo_epochs,
-                    lr=self.config.lr,
-                    entropy_coef=self.config.entropy_coef)))
+                    clip=cfg.ppo_clip, epochs=cfg.ppo_epochs,
+                    lr=cfg.lr,
+                    entropy_coef=cfg.entropy_coef)))
+
+        if resume_from is not None:
+            self._apply_checkpoint(resume_from)
+        self._live_agents = n - len(self._done_agents)
 
     # ------------------------------------------------------------------
     def run(self) -> SearchResult:
         cfg = self.config
+        if self.injector is not None:
+            self.injector.attach(self.cluster)
+        if cfg.checkpoint_interval is not None and self._live_agents > 0:
+            self._ckpt_proc = self.sim.process(self._checkpoint_clock(),
+                                               name="checkpoint")
         for agent_id in range(cfg.allocation.num_agents):
+            if agent_id in self._done_agents:
+                continue
             self.sim.process(self._agent(agent_id), name=f"agent{agent_id}")
         self.sim.run(until=cfg.wall_time)
-        end_time = min(self.sim.now, cfg.wall_time)
+        now = self.sim.now
+        if self._live_agents == 0 and self._search_end_time is not None:
+            # ignore stale timers (checkpoint clock, retry backoffs,
+            # injector repairs) that outlived the last agent
+            now = self._search_end_time
+        end_time = min(now, cfg.wall_time)
         converged = (self._converged_agents == cfg.allocation.num_agents
                      and end_time < cfg.wall_time)
         unique = len({rec.arch.key for rec in self.records})
         return SearchResult(cfg, self.records, self.cluster, end_time,
-                            converged, unique)
+                            converged, unique,
+                            failed_agents=list(self._failed_agents),
+                            num_failed_evals=sum(ev.num_failed
+                                                 for ev in self.evaluators))
 
     # ------------------------------------------------------------------
     def _agent(self, agent_id: int):
+        """Crash-safe wrapper: whatever happens inside the agent body,
+        the agent deregisters from the parameter server (the sync
+        barrier shrinks instead of deadlocking) and the search accounts
+        for it."""
+        converged = False
+        crashed = None
+        try:
+            converged = yield from self._agent_body(agent_id)
+        except Interrupt as intr:
+            crashed = f"interrupted: {intr.cause}"
+        except Exception as exc:        # noqa: BLE001 — surfaced in result
+            crashed = f"{type(exc).__name__}: {exc}"
+        if crashed is not None:
+            self._failed_agents.append((agent_id, crashed))
+        self._done_agents[agent_id] = bool(converged)
+        if converged:
+            self._converged_agents += 1
+        if self.ps is not None:
+            self.ps.deregister(failed=crashed is not None)
+        self._boundaries.pop(agent_id, None)
+        self._live_agents -= 1
+        if self._live_agents == 0:
+            self._search_end_time = self.sim.now
+            if self._ckpt_proc is not None:
+                self._ckpt_proc.interrupt("search finished")
+            if self.injector is not None:
+                self.injector.stop()
+
+    def _agent_body(self, agent_id: int):
         cfg = self.config
         sim = self.sim
         evaluator = self.evaluators[agent_id]
         policy = self.policies[agent_id]
         updater = self.updaters[agent_id]
         batch = cfg.allocation.workers_per_agent
-        rng = np.random.default_rng((cfg.seed, agent_id, 0xA6E))
         dims = np.array(self.space.action_dims)
-        consecutive_cached = 0
         converged = False
+        capture = cfg.checkpoint_interval is not None
 
-        # stagger startup slightly so same-instant submissions don't all
-        # carry identical timestamps (and to model ramp-up)
-        yield Timeout(rng.uniform(0.0, 2.0))
+        resume = self._resume.pop(agent_id, None)
+        if resume is not None:
+            # restart at the recorded iteration boundary: restored RNG
+            # and policy re-generate the in-flight batch exactly
+            rng = np.random.default_rng(0)
+            rng.bit_generator.state = copy.deepcopy(resume.rng_state)
+            consecutive_cached = resume.consecutive_cached
+            iteration = resume.iteration
+            my_records = resume.num_records
+            yield Timeout(resume.time)
+        else:
+            rng = np.random.default_rng((cfg.seed, agent_id, 0xA6E))
+            consecutive_cached = 0
+            iteration = 0
+            my_records = 0
+            # stagger startup slightly so same-instant submissions don't
+            # all carry identical timestamps (and to model ramp-up)
+            yield Timeout(rng.uniform(0.0, 2.0))
 
         while sim.now < cfg.wall_time:
+            if capture:
+                self._boundaries[agent_id] = AgentBoundary(
+                    time=sim.now, iteration=iteration,
+                    rng_state=copy.deepcopy(rng.bit_generator.state),
+                    policy_flat=(None if policy is None
+                                 else policy.get_flat()),
+                    opt_state=(None if updater is None
+                               else updater.optimizer.export_state()),
+                    consecutive_cached=consecutive_cached,
+                    cache_len=(len(evaluator.cache)
+                               if evaluator.cache is not None else 0),
+                    num_records=my_records,
+                    num_submitted=evaluator.num_submitted,
+                    num_cache_hits=evaluator.num_cache_hits,
+                    num_failed=evaluator.num_failed)
             if policy is None:  # RDM
                 actions = rng.integers(0, dims, size=(batch, len(dims)))
                 rollout = None
@@ -154,11 +271,12 @@ class NasSearch:
                     rec.end_time, agent_id, rec.arch, rec.reward,
                     rec.result.params, rec.result.duration, rec.cached,
                     rec.result.timed_out))
+                my_records += 1
 
             if updater is not None:
                 delta, _ = updater.update_delta(rollout, rewards)
                 if self.ps.mode == "sync":
-                    avg = yield self.ps.push_sync(delta)
+                    avg = yield self.ps.push_sync(delta, agent_id)
                 elif cfg.ps_service_time > 0.0:
                     avg = yield self.ps.push_async_timed(delta)
                 else:
@@ -171,17 +289,131 @@ class NasSearch:
                 consecutive_cached += 1
             else:
                 consecutive_cached = 0
+            iteration += 1
             if consecutive_cached >= cfg.convergence_patience:
                 converged = True
                 break
 
-        if self.ps is not None:
-            self.ps.deregister()
-        if converged:
-            self._converged_agents += 1
+        return converged
+
+    # -- checkpointing --------------------------------------------------
+    def _checkpoint_clock(self):
+        interval = self.config.checkpoint_interval
+        try:
+            while True:
+                yield Timeout(interval)
+                self._capture_checkpoint()
+        except Interrupt:
+            return
+
+    def _capture_checkpoint(self) -> SearchCheckpoint:
+        """Snapshot the search into a :class:`SearchCheckpoint`."""
+        cfg = self.config
+        agents = []
+        for agent_id in range(cfg.allocation.num_agents):
+            ev = self.evaluators[agent_id]
+            if agent_id in self._done_agents:
+                entries = (ev.cache.snapshot()
+                           if ev.cache is not None else [])
+                agents.append(AgentCheckpoint(
+                    agent_id, done=True,
+                    converged=self._done_agents[agent_id],
+                    boundary=None, cache_entries=entries))
+                continue
+            boundary = self._boundaries.get(agent_id)
+            if boundary is None:
+                # agent spawned but still in its startup stagger: resume
+                # will simply start it fresh (deterministically equal)
+                agents.append(AgentCheckpoint(
+                    agent_id, done=False, converged=False, boundary=None))
+                continue
+            entries = (ev.cache.snapshot(boundary.cache_len)
+                       if ev.cache is not None else [])
+            agents.append(AgentCheckpoint(
+                agent_id, done=False, converged=False,
+                boundary=boundary, cache_entries=entries))
+
+        ps_state = (self.ps.export_state()
+                    if isinstance(self.ps, ParameterServer) else None)
+        ckpt = SearchCheckpoint(
+            time=self.sim.now, seed=cfg.seed, method=cfg.method,
+            space_name=self.space.name,
+            num_agents=cfg.allocation.num_agents,
+            wall_time=cfg.wall_time,
+            records=list(self.records), agents=agents, ps_state=ps_state,
+            converged_agents=self._converged_agents,
+            failed_agents=list(self._failed_agents))
+        self.checkpoints.append(ckpt)
+        if cfg.checkpoint_path is not None:
+            ckpt.save(cfg.checkpoint_path)
+        return ckpt
+
+    def _apply_checkpoint(self, ckpt: SearchCheckpoint) -> None:
+        cfg = self.config
+        if ckpt.num_agents != cfg.allocation.num_agents:
+            raise ValueError(
+                f"checkpoint has {ckpt.num_agents} agents, config has "
+                f"{cfg.allocation.num_agents}")
+        if ckpt.method != cfg.method:
+            raise ValueError(
+                f"checkpoint method {ckpt.method!r} != config "
+                f"{cfg.method!r}")
+        if ckpt.space_name != self.space.name:
+            raise ValueError(
+                f"checkpoint space {ckpt.space_name!r} != "
+                f"{self.space.name!r}")
+        if ckpt.seed != cfg.seed:
+            raise ValueError(
+                f"checkpoint seed {ckpt.seed} != config seed {cfg.seed}; "
+                f"deterministic resume requires the same seed")
+        # drop records a resuming agent appended past its boundary (a
+        # sync agent parked at the barrier has already recorded its
+        # in-flight iteration); the replay re-records them
+        budget = {a.agent_id: a.boundary.num_records for a in ckpt.agents
+                  if not a.done and a.boundary is not None}
+        self.records = []
+        for rec in ckpt.records:
+            if rec.agent_id in budget:
+                if budget[rec.agent_id] <= 0:
+                    continue
+                budget[rec.agent_id] -= 1
+            self.records.append(rec)
+        self._converged_agents = ckpt.converged_agents
+        self._failed_agents = [tuple(fa) for fa in ckpt.failed_agents]
+        for agent in ckpt.agents:
+            ev = self.evaluators[agent.agent_id]
+            if ev.cache is not None and agent.cache_entries:
+                ev.cache.restore(agent.cache_entries)
+            if agent.done:
+                self._done_agents[agent.agent_id] = agent.converged
+                continue
+            boundary = agent.boundary
+            if boundary is None:
+                continue            # starts fresh, deterministically
+            self._resume[agent.agent_id] = boundary
+            ev.num_submitted = boundary.num_submitted
+            ev.num_cache_hits = boundary.num_cache_hits
+            ev.num_failed = boundary.num_failed
+            policy = self.policies[agent.agent_id]
+            if policy is not None and boundary.policy_flat is not None:
+                policy.set_flat(np.asarray(boundary.policy_flat))
+            updater = self.updaters[agent.agent_id]
+            if updater is not None and boundary.opt_state is not None:
+                updater.optimizer.restore_state(boundary.opt_state)
+        if ckpt.ps_state is not None and isinstance(self.ps,
+                                                    ParameterServer):
+            self.ps.restore_state(ckpt.ps_state)
 
 
 def run_search(space: Structure, reward_model: RewardModel,
                config: SearchConfig | None = None) -> SearchResult:
     """Convenience one-call search run."""
     return NasSearch(space, reward_model, config).run()
+
+
+def resume_search(space: Structure, reward_model: RewardModel,
+                  checkpoint: SearchCheckpoint,
+                  config: SearchConfig | None = None) -> SearchResult:
+    """Resume a checkpointed search and run it to completion."""
+    return NasSearch(space, reward_model, config,
+                     resume_from=checkpoint).run()

@@ -6,6 +6,7 @@ import pytest
 from repro.evaluator import (BalsamEvaluator, BalsamService, EvalCache,
                              SerialEvaluator)
 from repro.hpc.cluster import Cluster
+from repro.hpc.faults import FaultConfig, FaultInjector
 from repro.hpc.sim import Simulator, Timeout
 from repro.nas.arch import Architecture
 from repro.rewards.base import EvalResult, RewardModel
@@ -175,3 +176,177 @@ class TestBalsamEvaluator:
 
         sim.process(agent())
         sim.run()
+
+
+class TestBalsamRetries:
+    """Balsam job lifecycle under faults: RUN_ERROR -> RESTART_ENABLED
+    with capped exponential backoff, then FAILED after max_retries."""
+
+    def _setup(self, faults, nodes=2, **kwargs):
+        sim = Simulator()
+        cluster = Cluster(sim, nodes)
+        service = BalsamService(sim, cluster, submit_latency=1.0,
+                                faults=FaultInjector(sim, faults), **kwargs)
+        return sim, cluster, service
+
+    def test_crash_restarts_and_finishes(self):
+        # crash probability 1 on attempt 1 only is impossible to pin with
+        # a seeded rng, so crash every attempt but allow enough retries
+        # to observe RESTART_ENABLED bookkeeping deterministically
+        sim, cluster, service = self._setup(
+            FaultConfig(job_crash_prob=1.0, seed=0),
+            max_retries=2, retry_backoff=4.0, retry_backoff_cap=100.0)
+        job = service.submit(0, A(1), EvalResult(0.5, 10.0, 100))
+        sim.run()
+        assert job.state == "FAILED"
+        assert job.num_retries == 2
+        assert job.attempts == 3
+        assert job.failed
+        assert job.done.triggered
+        assert service.num_restarts == 2
+        assert cluster.busy == 0            # every crash released its node
+
+    def test_backoff_is_capped_exponential(self):
+        sim, cluster, service = self._setup(
+            FaultConfig(job_crash_prob=1.0, seed=0),
+            max_retries=3, retry_backoff=4.0, retry_backoff_cap=6.0)
+        job = service.submit(0, A(1), EvalResult(0.5, 10.0, 100))
+        sim.run()
+        # attempt starts: latency 1.0, then each retry waits
+        # min(4*2^(k-1), 6) after its partial run
+        waits = [s for s, _ in job.run_log]
+        gaps = [round(b - a, 6) for a, b in zip(waits, waits[1:])]
+        crash_frac = service.faults.job_fault(job.job_id, 1).crash_frac
+        # gap = partial run + backoff; backoffs are 4, 6, 6 (capped)
+        backoffs = [round(g - 10.0 * service.faults.job_fault(
+            job.job_id, k + 1).crash_frac, 6)
+            for k, g in enumerate(gaps)]
+        assert backoffs == [4.0, 6.0, 6.0]
+
+    def test_zero_faults_identical_lifecycle(self):
+        sim = Simulator()
+        cluster = Cluster(sim, 2)
+        plain = BalsamService(sim, cluster, submit_latency=1.0)
+        job = plain.submit(0, A(1), EvalResult(0.5, 10.0, 100))
+        sim.run()
+        assert (job.state, job.start_time, job.end_time) == \
+            ("FINISHED", 1.0, 11.0)
+        assert job.attempts == 1 and job.num_retries == 0
+
+    def test_failed_job_surfaces_failure_reward(self):
+        sim = Simulator()
+        cluster = Cluster(sim, 2)
+        service = BalsamService(
+            sim, cluster,
+            faults=FaultInjector(sim, FaultConfig(job_crash_prob=1.0)),
+            max_retries=1, retry_backoff=1.0)
+        ev = BalsamEvaluator(service, StubReward(), agent_id=0)
+        released = []
+
+        def agent():
+            yield ev.add_eval_batch([A(1, 2)])
+            released.append(sim.now)
+
+        sim.process(agent())
+        sim.run()
+        assert released                      # the barrier still released
+        recs = ev.get_finished_evals()
+        assert [r.reward for r in recs] == [RewardModel.FAILURE_REWARD]
+        assert ev.num_failed == 1
+        # failures are never cached: the arch may be retried later
+        assert ev.cache is not None and len(ev.cache) == 0
+
+
+class TestBatchDeadline:
+    def test_deadline_releases_stuck_barrier(self):
+        sim = Simulator()
+        cluster = Cluster(sim, 1)
+        service = BalsamService(sim, cluster, submit_latency=0.0)
+        ev = BalsamEvaluator(service, StubReward(), agent_id=0,
+                             batch_deadline=30.0)
+        # occupy the only node forever: the batch can never start
+        blocker = service.submit(9, A(9, 0), EvalResult(0.0, 1e9, 1))
+        released = []
+
+        def agent():
+            yield Timeout(1.0)
+            yield ev.add_eval_batch([A(1, 1)])
+            released.append(sim.now)
+
+        sim.process(agent())
+        sim.run(until=100.0)
+        assert released == [31.0]            # submit + deadline
+        recs = ev.get_finished_evals()
+        assert [r.reward for r in recs] == [RewardModel.FAILURE_REWARD]
+        assert recs[0].result.reward == RewardModel.FAILURE_REWARD
+        assert ev.num_failed == 1
+
+    def test_timed_out_job_releases_node_when_granted(self):
+        # the abandoned job eventually reaches the head of the queue: its
+        # pilot must hand the node straight back
+        sim = Simulator()
+        cluster = Cluster(sim, 1)
+        service = BalsamService(sim, cluster, submit_latency=0.0)
+        ev = BalsamEvaluator(service, StubReward(), agent_id=0,
+                             batch_deadline=5.0)
+        blocker = service.submit(9, A(9, 9), EvalResult(0.0, 50.0, 1))
+
+        def agent():
+            yield ev.add_eval_batch([A(1, 1)])
+
+        sim.process(agent())
+        sim.run()
+        abandoned = service.jobs[1]
+        assert abandoned.state == "RUN_TIMEOUT"
+        assert cluster.busy == 0             # node returned after grant
+
+    def test_deadline_validation(self):
+        sim = Simulator()
+        service = BalsamService(sim, Cluster(sim, 1))
+        with pytest.raises(ValueError):
+            BalsamEvaluator(service, StubReward(), agent_id=0,
+                            batch_deadline=0.0)
+
+    def test_no_deadline_waits_forever(self):
+        sim = Simulator()
+        cluster = Cluster(sim, 1)
+        service = BalsamService(sim, cluster, submit_latency=0.0)
+        ev = BalsamEvaluator(service, StubReward(), agent_id=0)
+        service.submit(9, A(9, 0), EvalResult(0.0, 1e9, 1))
+        released = []
+
+        def agent():
+            yield ev.add_eval_batch([A(1, 1)])
+            released.append(sim.now)
+
+        sim.process(agent())
+        sim.run(until=10_000.0)
+        assert released == []
+
+
+class TestEmptyBatch:
+    def test_empty_batch_succeeds_immediately(self):
+        sim = Simulator()
+        service = BalsamService(sim, Cluster(sim, 1), submit_latency=0.0)
+        ev = BalsamEvaluator(service, StubReward(), agent_id=0)
+        done = ev.add_eval_batch([])
+        assert done.triggered                # no finisher, no AllOf([])
+        assert not ev.last_batch_all_cached  # explicitly NOT convergence
+        assert ev.get_finished_evals() == []
+
+    def test_all_cached_batch_succeeds_immediately(self):
+        sim = Simulator()
+        service = BalsamService(sim, Cluster(sim, 1), submit_latency=0.0)
+        ev = BalsamEvaluator(service, StubReward(), agent_id=0)
+
+        def agent():
+            yield ev.add_eval_batch([A(3, 3)])
+            ev.get_finished_evals()
+            done = ev.add_eval_batch([A(3, 3)])
+            assert done.triggered
+            assert ev.last_batch_all_cached
+
+        sim.process(agent())
+        sim.run()
+        recs = ev.get_finished_evals()
+        assert len(recs) == 1 and recs[0].cached

@@ -75,3 +75,56 @@ class TestThreadEvaluator:
             ev.add_eval_batch([A(0)])
             ev.wait_all()
             assert ev.get_finished_evals()[0].reward == 7.0
+
+
+class ExplodingReward(RewardModel):
+    """Raises for archs whose first choice is odd."""
+
+    def evaluate(self, arch, agent_seed=0):
+        if arch.choices[0] % 2 == 1:
+            raise FloatingPointError("overflow in fake training")
+        return EvalResult(float(sum(arch.choices)), 0.01, 10)
+
+
+class TestWorkerFailures:
+    def test_worker_exception_becomes_failure_reward(self):
+        ev = ThreadEvaluator(ExplodingReward(), max_workers=2)
+        try:
+            ev.add_eval_batch([A(1, 5), A(2, 3)])
+            ev.wait_all()
+            recs = ev.get_finished_evals()
+        finally:
+            ev.shutdown()
+        by_arch = {r.arch.choices: r for r in recs}
+        assert by_arch[(1, 5)].reward == RewardModel.FAILURE_REWARD
+        assert by_arch[(2, 3)].reward == 5.0
+        assert ev.num_failed == 1
+
+    def test_failures_not_cached(self):
+        ev = ThreadEvaluator(ExplodingReward(), max_workers=1)
+        try:
+            ev.add_eval_batch([A(1, 1)])
+            ev.wait_all()
+            ev.get_finished_evals()
+            # the same arch is re-attempted, not served from the cache
+            ev.add_eval_batch([A(1, 1)])
+            ev.wait_all()
+            recs = ev.get_finished_evals()
+        finally:
+            ev.shutdown()
+        assert not recs[0].cached
+        assert ev.num_failed == 2
+        assert ev.num_cache_hits == 0
+
+    def test_mixed_batch_keeps_successes(self):
+        ev = ThreadEvaluator(ExplodingReward(), max_workers=4)
+        try:
+            archs = [A(i, 0) for i in range(6)]
+            ev.add_eval_batch(archs)
+            ev.wait_all()
+            recs = ev.get_finished_evals()
+        finally:
+            ev.shutdown()
+        assert len(recs) == 6
+        failed = [r for r in recs if r.reward == RewardModel.FAILURE_REWARD]
+        assert len(failed) == 3 == ev.num_failed

@@ -156,3 +156,57 @@ class TestSurrogateReward:
         with pytest.raises(ValueError):
             SurrogateReward(space, COMBO_PAPER_SHAPES, combo_head(), cm,
                             train_fraction=0.0)
+
+
+class TestTrainingRewardRobustness:
+    def test_fit_blowup_becomes_failure_reward(self, small_combo,
+                                               monkeypatch):
+        """Numerical explosion mid-training surfaces FAILURE_REWARD
+        instead of crashing the evaluating agent."""
+        import repro.rewards.training as training_mod
+
+        class ExplodingTrainer:
+            def __init__(self, **kwargs):
+                pass
+
+            def fit(self, *args, **kwargs):
+                raise FloatingPointError("overflow encountered in matmul")
+
+        monkeypatch.setattr(training_mod, "Trainer", ExplodingTrainer)
+        rm = TrainingReward(small_combo, epochs=1)
+        arch = small_combo.space.decode([1] * 9 + [0] + [1] * 3)
+        res = rm.evaluate(arch)
+        assert res.reward == rm.FAILURE_REWARD
+        assert res.params > 0            # build succeeded; fit blew up
+        assert res.duration >= 0.0
+
+    def test_overflow_during_fit_also_caught(self, small_combo,
+                                             monkeypatch):
+        import repro.rewards.training as training_mod
+
+        class OverflowingTrainer:
+            def __init__(self, **kwargs):
+                pass
+
+            def fit(self, *args, **kwargs):
+                raise OverflowError("inf in loss")
+
+        monkeypatch.setattr(training_mod, "Trainer", OverflowingTrainer)
+        rm = TrainingReward(small_combo, epochs=1)
+        arch = small_combo.space.decode([1] * 9 + [0] + [1] * 3)
+        assert rm.evaluate(arch).reward == rm.FAILURE_REWARD
+
+    def test_build_floating_point_error_caught(self, small_combo,
+                                               monkeypatch):
+        import repro.rewards.training as training_mod
+
+        def exploding_compile(*args, **kwargs):
+            raise FloatingPointError("degenerate initialization")
+
+        monkeypatch.setattr(training_mod, "compile_architecture",
+                            exploding_compile)
+        rm = TrainingReward(small_combo, epochs=1)
+        arch = small_combo.space.decode([1] * 9 + [0] + [1] * 3)
+        res = rm.evaluate(arch)
+        assert res.reward == rm.FAILURE_REWARD
+        assert res.params == 0           # never got past the build

@@ -130,3 +130,101 @@ class TestValidation:
     def test_bad_agents(self):
         with pytest.raises(ValueError):
             ParameterServer(Simulator(), 0)
+
+
+class TestBarrierSafety:
+    def test_death_after_push_does_not_deadlock(self):
+        """An agent that pushes, then dies mid-round: deregister shrinks
+        the barrier and immediately releases the stale round, with the
+        dead agent's pending push averaged in — survivors never hang."""
+        sim = Simulator()
+        ps = ParameterServer(sim, num_agents=3, mode="sync", latency=0.0)
+        got = []
+
+        def doomed():
+            yield ps.push_sync(np.array([9.0]), agent_id=0)
+
+        def survivor():
+            avg = yield ps.push_sync(np.array([1.0]), agent_id=1)
+            got.append(float(avg[0]))
+
+        def crash_reporter():
+            yield Timeout(2.0)
+            ps.deregister(failed=True)   # the runner's wrapper does this
+
+        sim.process(doomed())
+        sim.process(survivor())
+        sim.process(crash_reporter())
+        sim.run(until=100.0)
+        assert got == [5.0]              # (9 + 1) / 2
+        assert ps.num_failed_agents == 1
+        assert ps.num_rounds == 1
+
+    def test_death_before_push_releases_waiters(self):
+        sim = Simulator()
+        ps = ParameterServer(sim, num_agents=2, mode="sync", latency=0.0)
+        got = []
+
+        def pusher():
+            avg = yield ps.push_sync(np.array([6.0]), agent_id=0)
+            got.append(float(avg[0]))
+
+        def crasher():
+            yield Timeout(5.0)
+            ps.deregister(failed=True)
+
+        sim.process(pusher())
+        sim.process(crasher())
+        sim.run(until=100.0)
+        assert got == [6.0]
+
+
+class TestExportRestore:
+    def test_async_round_trip(self):
+        ps = ParameterServer(Simulator(), num_agents=4, mode="async",
+                             staleness_window=2)
+        ps.push_async(np.array([1.0, 2.0]))
+        ps.push_async(np.array([3.0, 4.0]))
+        state = ps.export_state()
+
+        fresh = ParameterServer(Simulator(), num_agents=4, mode="async",
+                                staleness_window=2)
+        fresh.restore_state(state)
+        assert fresh.num_pushes == 2
+        # restored window produces the same averages: the new push
+        # evicts [1, 2] and averages with [3, 4]
+        np.testing.assert_allclose(fresh.push_async(np.array([5.0, 6.0])),
+                                   [4.0, 5.0])
+
+    def test_sync_export_excludes_pending_round(self):
+        sim = Simulator()
+        ps = ParameterServer(sim, num_agents=2, mode="sync")
+
+        def half_round():
+            yield ps.push_sync(np.array([1.0]), agent_id=0)
+
+        sim.process(half_round())
+        sim.run(until=1.0)
+        state = ps.export_state()
+        # the in-flight push is excluded: its iteration replays on resume
+        assert state["num_pushes"] == 0
+        assert state["num_rounds"] == 0
+
+    def test_mode_mismatch_rejected(self):
+        a = ParameterServer(Simulator(), num_agents=2, mode="async")
+        b = ParameterServer(Simulator(), num_agents=2, mode="sync")
+        with pytest.raises(ValueError):
+            b.restore_state(a.export_state())
+
+    def test_restore_clears_transients(self):
+        sim = Simulator()
+        ps = ParameterServer(sim, num_agents=2, mode="sync")
+
+        def half_round():
+            yield ps.push_sync(np.array([1.0]), agent_id=0)
+
+        sim.process(half_round())
+        sim.run(until=1.0)
+        ps.restore_state(ParameterServer(Simulator(), num_agents=2,
+                                         mode="sync").export_state())
+        assert ps._pending == [] and ps._waiters == []
