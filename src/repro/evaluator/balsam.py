@@ -140,7 +140,9 @@ class BalsamService:
                 if fault is not None and fault.crashes:
                     # the task dies partway through; the node survives
                     yield Timeout(duration * fault.crash_frac)
+                    self.faults.num_job_crashes += 1
                     job.run_log.append((job.start_time, self.sim.now))
+                    job.start_time = -1.0
                     self.cluster.release(holder=job.proc)
                     if job.failed:
                         return          # abandoned mid-run by its deadline
@@ -158,9 +160,13 @@ class BalsamService:
                     return
             except Interrupt as intr:
                 # the node died under us: the lease is already revoked,
-                # so there is nothing to release
+                # so there is nothing to release.  start_time >= 0 only
+                # while the current attempt is actually running (it is
+                # reset whenever an attempt ends), so a pilot preempted
+                # between lease grant and resume logs no bogus interval
                 if job.start_time >= 0:
                     job.run_log.append((job.start_time, self.sim.now))
+                    job.start_time = -1.0
                 if job.failed:
                     return          # deadline had already abandoned it
                 job.state = "RUN_ERROR"

@@ -150,9 +150,13 @@ class FaultInjector:
                 if cluster.worker_nodes <= cfg.min_worker_nodes:
                     continue
                 # the failed node is uniform over in-service nodes: it
-                # preempts a pilot with probability busy/capacity
-                idx = int(rng.integers(0, cluster.worker_nodes))
+                # preempts a pilot with probability busy/capacity.  After
+                # an idle-kill, surplus leases can outnumber worker_nodes,
+                # so draw over whichever is larger or some running pilots
+                # would be unreachable by preemption
                 holders = cluster.holders
+                capacity = max(cluster.worker_nodes, len(holders))
+                idx = int(rng.integers(0, capacity))
                 victim = holders[idx] if idx < len(holders) else None
                 if cluster.fail_node(victim):
                     self.num_node_failures += 1
@@ -180,9 +184,10 @@ class FaultInjector:
     def job_fault(self, job_id: int, attempt: int) -> JobFault | None:
         """Fault decisions for attempt ``attempt`` of job ``job_id``.
 
-        Deterministic in ``(seed, job_id, attempt)`` and independent of
-        submission order.  Returns ``None`` when job-level faults are
-        disabled.
+        A pure function of ``(seed, job_id, attempt)``, independent of
+        submission order and safe to query repeatedly — the caller that
+        actually takes the crash path bumps :attr:`num_job_crashes`.
+        Returns ``None`` when job-level faults are disabled.
         """
         cfg = self.config
         if cfg.job_crash_prob <= 0 and cfg.straggler_prob <= 0:
@@ -193,8 +198,6 @@ class FaultInjector:
         crash_frac = float(rng.uniform(0.05, 0.95))
         slowdown = (cfg.straggler_factor
                     if rng.random() < cfg.straggler_prob else 1.0)
-        if crashes:
-            self.num_job_crashes += 1
         return JobFault(crashes, crash_frac, slowdown)
 
     # -- service outages ------------------------------------------------

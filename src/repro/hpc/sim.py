@@ -87,7 +87,7 @@ class AllOf:
 class Process(Event):
     """A running coroutine; is itself an event that fires on return."""
 
-    __slots__ = ("generator", "name", "_interrupted")
+    __slots__ = ("generator", "name", "_interrupted", "_epoch")
 
     def __init__(self, sim: "Simulator", generator: Generator,
                  name: str = "") -> None:
@@ -95,6 +95,11 @@ class Process(Event):
         self.generator = generator
         self.name = name or getattr(generator, "__name__", "process")
         self._interrupted: Interrupt | None = None
+        #: resume epoch: every parked continuation is tagged with the
+        #: epoch it was created in; an interrupt bumps the epoch, so the
+        #: abandoned continuation (e.g. the Timeout the process was
+        #: sleeping on) becomes stale and is dropped when it fires
+        self._epoch = 0
 
     def interrupt(self, cause: Any = None) -> None:
         """Throw :class:`Interrupt` into the process at its next resume."""
@@ -106,12 +111,26 @@ class Process(Event):
         if self.triggered or self._interrupted is None:
             return
         exc, self._interrupted = self._interrupted, None
+        # invalidate whatever the process was parked on: its callback may
+        # still be pending (a Timeout in the heap, an event waiter) and
+        # must not resume the generator after the interrupt redirects it
+        self._epoch += 1
         try:
             target = self.generator.throw(exc)
         except StopIteration as stop:
             self.succeed(stop.value)
             return
         self.sim._bind(self, target)
+
+    def _continuation(self) -> Callable[[Any], None]:
+        """A resume callback valid only for the current epoch."""
+        epoch = self._epoch
+
+        def resume(value: Any) -> None:
+            if self._epoch == epoch:
+                self._step(value)
+
+        return resume
 
     def _step(self, value: Any) -> None:
         if self.triggered:
@@ -151,17 +170,23 @@ class Simulator:
 
     def process(self, generator: Generator, name: str = "") -> Process:
         proc = Process(self, generator, name)
-        self._schedule(0.0, proc._step, None)
+        self._schedule(0.0, proc._continuation(), None)
         return proc
 
     def _bind(self, proc: Process, target: Any) -> None:
-        """Attach a yielded target to the process's continuation."""
+        """Attach a yielded target to the process's continuation.
+
+        The continuation is epoch-tagged: if the process is interrupted
+        while parked here, this binding goes stale and firing it later
+        is a no-op (see :meth:`Process._continuation`).
+        """
+        cont = proc._continuation()
         if isinstance(target, Timeout):
-            self._schedule(target.delay, proc._step, None)
+            self._schedule(target.delay, cont, None)
         elif isinstance(target, AllOf):
             pending = len(target.events)
             if pending == 0:
-                self._schedule(0.0, proc._step, [])
+                self._schedule(0.0, cont, [])
                 return
             results: list[Any] = [None] * pending
             remaining = [pending]
@@ -171,13 +196,13 @@ class Simulator:
                     results[i] = value
                     remaining[0] -= 1
                     if remaining[0] == 0:
-                        proc._step(results)
+                        cont(results)
                 return cb
 
             for i, ev in enumerate(target.events):
                 ev._add_waiter(make_cb(i))
         elif isinstance(target, Event):
-            target._add_waiter(proc._step)
+            target._add_waiter(cont)
         else:
             raise TypeError(
                 f"process {proc.name!r} yielded {type(target).__name__}; "

@@ -68,11 +68,19 @@ def fault_levels(minutes: float, seed: int) -> list[tuple[str,
 
 
 def fault_matrix(minutes: float = 45.0, seed: int = 1,
-                 method: str = "a3c") -> list[dict]:
-    """Run the matrix; returns one result row per fault level."""
+                 method: str = "a3c",
+                 levels: tuple[str, ...] | None = None) -> list[dict]:
+    """Run the matrix; returns one result row per fault level.
+
+    ``levels`` restricts the run to a subset of the matrix (the
+    fault-free ``"none"`` row is the comparison baseline and should be
+    included); ``None`` runs every level.
+    """
     space = combo_small()
     rows = []
     for name, faults in fault_levels(minutes, seed):
+        if levels is not None and name not in levels:
+            continue
         reward_model = SurrogateReward(
             space, COMBO_PAPER_SHAPES, combo_head(),
             TrainingCostModel.combo_paper(),

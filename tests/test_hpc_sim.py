@@ -209,6 +209,60 @@ class TestProcesses:
         sim.run(until=10.0)
         assert caught == [(5.0, "preempted")]
 
+    def test_interrupt_cancels_pending_timeout(self):
+        # regression: interrupting a process parked on Timeout(100) must
+        # cancel that continuation — the old callback firing at t=100
+        # must not resume the generator out of its post-interrupt sleep
+        sim = Simulator()
+        resumed = []
+
+        def victim():
+            try:
+                yield Timeout(100.0)
+            except Interrupt:
+                pass
+            yield Timeout(500.0)
+            resumed.append(sim.now)
+
+        v = sim.process(victim())
+
+        def attacker():
+            yield Timeout(10.0)
+            v.interrupt("preempted")
+
+        sim.process(attacker())
+        sim.run()
+        assert resumed == [510.0]
+
+    def test_interrupt_cancels_pending_event_wait(self):
+        # a fired event whose waiter was interrupted before resuming must
+        # not push the generator past its post-interrupt yield
+        sim = Simulator()
+        ev = sim.event()
+        log = []
+
+        def victim():
+            try:
+                yield ev
+                log.append(("granted", sim.now))
+            except Interrupt:
+                log.append(("interrupted", sim.now))
+            yield Timeout(50.0)
+            log.append(("done", sim.now))
+
+        v = sim.process(victim())
+
+        def firer():
+            yield Timeout(5.0)
+            # same instant: the interrupt lands at the generator first,
+            # so the queued grant callback must be dropped as stale
+            v.interrupt("preempted")
+            ev.succeed("grant")
+
+        sim.process(firer())
+        sim.run()
+        assert log == [("interrupted", 5.0), ("done", 55.0)]
+
     def test_bad_yield_type_raises(self):
         sim = Simulator()
 
