@@ -4,11 +4,22 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test smoke chaos bench bench-quick
+.PHONY: test test-fast smoke chaos verify bench bench-quick
 
 ## full tier-1 test suite
 test:
 	$(PYTHON) -m pytest -q
+
+## quick inner-loop subset (everything not marked slow/chaos/verify)
+test-fast:
+	$(PYTHON) -m pytest -q -m fast
+
+## correctness battery: verify-marked tests (50-arch differential
+## acceptance, full gradient suite, resume fingerprints) plus the CLI
+## battery, which appends its matrix to VERIFY_report.json
+verify:
+	$(PYTHON) -m pytest -q -m verify
+	$(PYTHON) -m repro.verify all --output VERIFY_report.json
 
 ## substrate smoke check: core NN/RL tests + one quick benchmark pass
 smoke:

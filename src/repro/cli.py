@@ -13,6 +13,9 @@ Commands
 ``posttrain``
     Post-train the top architectures of a search log against the
     baseline and print the ratio table.
+``verify``
+    Run the correctness battery (differential tester, gradient checks,
+    determinism fingerprints); see ``python -m repro.verify --help``.
 """
 
 from __future__ import annotations
@@ -129,6 +132,12 @@ def _cmd_posttrain(args) -> int:
         print(f"{e.accuracy_ratio:9.3f} {e.params_ratio:8.2f} "
               f"{e.time_ratio:8.2f} {e.params:12,}")
     return 0
+
+
+def _cmd_verify(args) -> int:
+    """Forward to the verification battery's own CLI."""
+    from .verify.cli import main as verify_main
+    return verify_main(args.verify_args or ["all"])
 
 
 _FIGURES = ("fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig11",
@@ -252,6 +261,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("figure", choices=_FIGURES)
     p.add_argument("--problem", choices=("combo", "uno", "nt3"))
     p.set_defaults(fn=_cmd_figure)
+
+    p = sub.add_parser("verify",
+                       help="correctness battery (see repro.verify)")
+    p.add_argument("verify_args", nargs=argparse.REMAINDER,
+                   help="arguments for python -m repro.verify")
+    p.set_defaults(fn=_cmd_verify)
     return parser
 
 

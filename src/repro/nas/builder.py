@@ -74,6 +74,36 @@ class Plan:
         return next(n.out_shape for n in reversed(self.nodes)
                     if n.name == self.output)
 
+    def subplan(self, output: str) -> "Plan":
+        """The ancestor closure of ``output`` as a standalone plan.
+
+        The differential tester's shrinker uses this to cut a failing
+        architecture down to the smallest sub-DAG that still disagrees:
+        the sub-plan keeps only ``output``, its ancestors, and any
+        mirror-share targets those ancestors borrow weights from, with
+        unused structure inputs dropped.
+        """
+        by_name = {n.name: n for n in self.nodes}
+        if output not in by_name:
+            raise KeyError(f"unknown plan node {output!r}")
+        needed: set[str] = set()
+        stack = [output]
+        while stack:
+            name = stack.pop()
+            if name in needed or name in self.input_shapes:
+                continue
+            needed.add(name)
+            node = by_name[name]
+            stack.extend(node.inputs)
+            if node.share_of is not None:
+                stack.append(node.share_of)
+        nodes = [n for n in self.nodes if n.name in needed]
+        used_inputs = {i for n in nodes for i in n.inputs
+                       if i in self.input_shapes}
+        shapes = {name: shape for name, shape in self.input_shapes.items()
+                  if name in used_inputs}
+        return Plan(self.space, shapes, nodes, output)
+
     def materialize(self, rng: np.random.Generator,
                     dtype=None) -> GraphModel:
         """Instantiate the runnable model; weights drawn from ``rng``.

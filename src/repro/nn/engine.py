@@ -187,6 +187,14 @@ class ExecutionPlan:
             raise KeyError(f"no activation recorded for node {name!r}")
         return value
 
+    def snapshot_values(self) -> dict[str, np.ndarray]:
+        """Copies of all recorded activations (interior activations live
+        in reused buffers, so diffing tools must snapshot them before the
+        next forward call)."""
+        return {name: self._values[slot].copy()
+                for name, slot in self.slot_of.items()
+                if self._values[slot] is not None}
+
 
 class FlatParameterVector:
     """Parameters packed into one contiguous vector with live views back.

@@ -19,6 +19,7 @@ are O(1) lookups per call rather than per-batch graph re-walks.
 from __future__ import annotations
 
 from collections import deque
+from contextlib import contextmanager
 from typing import Iterable
 
 import numpy as np
@@ -182,6 +183,98 @@ class GraphModel:
         return self._plan.run_backward(grad_output)
 
     # ------------------------------------------------------------------
+    # eager reference execution (repro.verify's differential oracle)
+    # ------------------------------------------------------------------
+    @contextmanager
+    def _eager_scope(self):
+        """Temporarily detach every layer from the compiled plan's buffer
+        pool so execution allocates fresh arrays, exactly like the seed's
+        interpreted graph walk."""
+        saved = [(layer, layer._pool, layer._reuse_out)
+                 for layer in self.layers.values()]
+        for layer, _, _ in saved:
+            layer._pool = None
+            layer._reuse_out = False
+        try:
+            yield
+        finally:
+            for layer, pool, reuse in saved:
+                layer._pool = pool
+                layer._reuse_out = reuse
+
+    def forward_eager(self, inputs: dict[str, np.ndarray],
+                      training: bool = False) -> np.ndarray:
+        """Dict-based interpreted forward pass (no plan, no buffer reuse).
+
+        Semantically equivalent to :meth:`forward` but structurally
+        independent of the compiled engine: the topological walk resolves
+        node inputs by name and every layer allocates fresh output
+        arrays.  Activations are kept in :attr:`eager_values` so the
+        differential tester can compare them node by node against
+        :meth:`node_values`.
+        """
+        if not self.built:
+            raise RuntimeError("model is not built")
+        missing = set(self.inputs) - set(inputs)
+        if missing:
+            raise KeyError(f"missing inputs: {sorted(missing)}")
+        dt = self.dtype
+        values: dict[str, np.ndarray] = {
+            name: np.asarray(inputs[name], dtype=dt) for name in self.inputs}
+        with self._eager_scope():
+            for name in self._order:
+                layer = self.layers[name]
+                srcs = self.node_inputs[name]
+                if isinstance(layer, MergeLayer):
+                    values[name] = layer.forward_multi(
+                        [values[s] for s in srcs], training)
+                else:
+                    values[name] = layer.forward(values[srcs[0]], training)
+        self._eager_values = values
+        return values[self.output_name]
+
+    def backward_eager(self, grad_output: np.ndarray) -> dict[str, np.ndarray]:
+        """Interpreted backward pass matching :meth:`forward_eager`.
+
+        Must follow a :meth:`forward_eager` call (layer caches carry the
+        forward intermediates).  Returns gradients w.r.t. each input.
+        """
+        dt = self.dtype
+        grads: dict[str, np.ndarray] = {
+            self.output_name: np.asarray(grad_output, dtype=dt)}
+        with self._eager_scope():
+            for name in reversed(self._order):
+                g = grads.pop(name, None)
+                if g is None:
+                    continue  # node not on a path to the output
+                layer = self.layers[name]
+                srcs = self.node_inputs[name]
+                if isinstance(layer, MergeLayer):
+                    in_grads = layer.backward_multi(g)
+                else:
+                    in_grads = [layer.backward(g)]
+                for src, ig in zip(srcs, in_grads):
+                    if src in grads:
+                        grads[src] = grads[src] + ig
+                    else:
+                        grads[src] = ig
+        out: dict[str, np.ndarray] = {}
+        for name, spec in self.inputs.items():
+            g = grads.get(name)
+            if g is None:
+                g = np.zeros((1,) + spec.shape, dtype=dt)
+            out[name] = g
+        return out
+
+    @property
+    def eager_values(self) -> dict[str, np.ndarray]:
+        """Node activations of the most recent :meth:`forward_eager`."""
+        values = getattr(self, "_eager_values", None)
+        if values is None:
+            raise RuntimeError("no eager forward pass has been run")
+        return values
+
+    # ------------------------------------------------------------------
     # introspection
     # ------------------------------------------------------------------
     def _collect_parameters(self) -> list[Parameter]:
@@ -235,6 +328,17 @@ class GraphModel:
         if self._plan is None:
             raise RuntimeError("model is not built")
         return self._plan.value_of(name)
+
+    def node_values(self) -> dict[str, np.ndarray]:
+        """Copies of every node activation from the most recent forward.
+
+        Unlike :meth:`node_value` the arrays are snapshots, safe to keep
+        across later forward calls; the differential tester diffs them
+        against :attr:`eager_values`.
+        """
+        if self._plan is None:
+            raise RuntimeError("model is not built")
+        return self._plan.snapshot_values()
 
     def summary(self) -> str:
         lines = [f"{'node':<28}{'layer':<18}{'params':>10}"]

@@ -224,6 +224,8 @@ def smoke(argv: list[str] | None = None) -> int:
         description="substrate smoke check: core tests + quick bench")
     parser.add_argument("--no-chaos", action="store_true",
                         help="skip the light fault-injection pass")
+    parser.add_argument("--no-verify", action="store_true",
+                        help="skip the eager-vs-compiled differential pass")
     args = parser.parse_args(argv)
     root = Path(__file__).resolve().parents[2]
     code = subprocess.call(
@@ -233,6 +235,21 @@ def smoke(argv: list[str] | None = None) -> int:
         return code
     print("smoke: tests passed; timing one quick benchmark pass")
     run_suite(repeats=3)
+    if not args.no_verify:
+        # differential-test a handful of sampled architectures per space
+        # (eager walk vs. compiled plan) and append the outcome to
+        # VERIFY_report.json so agreement is tracked across commits
+        print("smoke: differential pass (8 archs/space, eager vs. compiled)")
+        from repro.verify.diff import verify_report, write_verify_report
+        report = verify_report(per_space=8)
+        write_verify_report(root / "VERIFY_report.json", report)
+        if not report["ok"]:
+            for problem, per_dtype in report["spaces"].items():
+                for dtype, row in per_dtype.items():
+                    for failure in row["failures"]:
+                        print(f"smoke: diff FAIL — {failure}")
+            return 1
+        print("smoke: eager and compiled paths agree")
     if args.no_chaos:
         return 0
     # one light-fault row against the fault-free baseline keeps smoke

@@ -74,11 +74,13 @@ class PPOUpdater:
         # identical to per-parameter Adam
         self.optimizer = FlatAdam(policy.flat, lr=self.config.lr)
 
-    def update(self, rollout: Rollout, rewards: np.ndarray) -> PPOStats:
-        """One PPO update from a rollout and its episode rewards.
+    def prepare_targets(self, rollout: Rollout, rewards: np.ndarray
+                        ) -> tuple[np.ndarray, np.ndarray]:
+        """(advantages, returns) for one rollout and its episode rewards.
 
         ``rewards`` has one entry per rollout row (terminal reward of the
-        generated architecture).
+        generated architecture).  Advantages come back normalized when
+        the config asks for it; returns are the raw value targets.
         """
         cfg = self.config
         rewards = np.asarray(rewards, dtype=np.float64)
@@ -91,39 +93,62 @@ class PPOUpdater:
         if cfg.normalize_advantages:
             std = advantages.std()
             advantages = (advantages - advantages.mean()) / (std + 1e-8)
+        return advantages, returns
 
+    def surrogate_loss(self, rollout: Rollout, advantages: np.ndarray,
+                       returns: np.ndarray, with_grads: bool = True
+                       ) -> tuple[float, PPOStats]:
+        """Evaluate L = policy_loss + c_v·value_loss − c_e·entropy at the
+        current parameters; with ``with_grads`` also accumulate ∂L/∂θ
+        into the policy (after zeroing).
+
+        This is the pure loss/gradient evaluation :meth:`update` iterates
+        — no gradient clipping, no optimizer step — which is exactly what
+        finite-difference verification needs (``grad_norm`` in the
+        returned stats is 0; the caller clips).
+        """
+        cfg = self.config
         old_logp = rollout.logprobs
         n = old_logp.size
-        stats = PPOStats(0.0, 0.0, 0.0, 0.0, 0.0)
-        for _ in range(cfg.epochs):
-            logp, values, entropies, caches = self.policy.forward_train(
-                rollout.actions)
-            ratio = np.exp(logp - old_logp)
-            clipped = np.clip(ratio, 1.0 - cfg.clip, 1.0 + cfg.clip)
-            surr1 = ratio * advantages
-            surr2 = clipped * advantages
-            use1 = surr1 <= surr2  # min picks the smaller surrogate
-            policy_loss = -np.minimum(surr1, surr2).mean()
-            value_err = values - returns
-            value_loss = 0.5 * np.mean(value_err ** 2)
-            entropy = entropies.mean()
+        logp, values, entropies, caches = self.policy.forward_train(
+            rollout.actions)
+        ratio = np.exp(logp - old_logp)
+        clipped = np.clip(ratio, 1.0 - cfg.clip, 1.0 + cfg.clip)
+        surr1 = ratio * advantages
+        surr2 = clipped * advantages
+        use1 = surr1 <= surr2  # min picks the smaller surrogate
+        policy_loss = -np.minimum(surr1, surr2).mean()
+        value_err = values - returns
+        value_loss = 0.5 * np.mean(value_err ** 2)
+        entropy = entropies.mean()
+        loss = float(policy_loss + cfg.value_coef * value_loss
+                     - cfg.entropy_coef * entropy)
 
+        if with_grads:
             # gradients of L = policy_loss + c_v*value_loss - c_e*entropy
             d_logp = np.where(use1, -ratio * advantages / n, 0.0)
             d_value = cfg.value_coef * value_err / n
             d_entropy = np.full_like(logp, -cfg.entropy_coef / n)
-
             self.policy.zero_grad()
             self.policy.backward_train(caches, d_logp, d_value, d_entropy)
+
+        stats = PPOStats(float(policy_loss), float(value_loss),
+                         float(entropy), float(np.mean(ratio != clipped)),
+                         0.0)
+        return loss, stats
+
+    def update(self, rollout: Rollout, rewards: np.ndarray) -> PPOStats:
+        """One PPO update from a rollout and its episode rewards."""
+        cfg = self.config
+        advantages, returns = self.prepare_targets(rollout, rewards)
+        stats = PPOStats(0.0, 0.0, 0.0, 0.0, 0.0)
+        for _ in range(cfg.epochs):
+            _, stats = self.surrogate_loss(rollout, advantages, returns)
             grad_norm = clip_global_norm(
                 [p.grad for p in self.policy.parameters()],
                 cfg.max_grad_norm)
             self.optimizer.step()
-
-            stats = PPOStats(float(policy_loss), float(value_loss),
-                             float(entropy),
-                             float(np.mean(ratio != clipped)),
-                             float(grad_norm))
+            stats.grad_norm = float(grad_norm)
         return stats
 
     def _gae(self, rewards: np.ndarray, values: np.ndarray) -> np.ndarray:

@@ -119,10 +119,25 @@ class SearchResult:
     #: evaluations surfaced as FAILURE_REWARD (retries exhausted,
     #: batch-deadline abandonment) across all agents
     num_failed_evals: int = 0
+    #: per-agent rolling trajectory digests (actions, rewards, and
+    #: post-update policy parameters chained per iteration); see
+    #: :mod:`repro.verify.fingerprint`
+    agent_digests: dict = field(default_factory=dict)
 
     @property
     def num_evaluations(self) -> int:
         return len(self.records)
+
+    def fingerprint(self) -> str:
+        """Canonical determinism fingerprint of this run's trajectory.
+
+        Same seed + same config ⇒ same fingerprint; a checkpoint/resume
+        run fingerprints identically to the uninterrupted run.
+        """
+        from ..verify.fingerprint import trajectory_fingerprint
+        return trajectory_fingerprint(self.records, self.agent_digests,
+                                      method=self.config.method,
+                                      seed=self.config.seed)
 
     def best(self) -> RewardRecord:
         if not self.records:

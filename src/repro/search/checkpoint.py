@@ -68,6 +68,10 @@ class AgentBoundary:
     num_submitted: int
     num_cache_hits: int
     num_failed: int
+    #: the agent's rolling trajectory digest at the boundary (see
+    #: :mod:`repro.verify.fingerprint`); "" on checkpoints written
+    #: before digests existed (resume falls back to the genesis digest)
+    traj_digest: str = ""
 
 
 @dataclass
@@ -79,6 +83,9 @@ class AgentCheckpoint:
     converged: bool                   # finished via cache convergence
     boundary: AgentBoundary | None    # None when done
     cache_entries: list = field(default_factory=list)  # [(key, EvalResult)]
+    #: final trajectory digest of a finished agent (None while running —
+    #: the live digest travels on the boundary)
+    traj_digest: str | None = None
 
 
 @dataclass
@@ -149,6 +156,25 @@ class SearchCheckpoint:
         """JSON-encode and decode (what save/load does, without disk)."""
         return self.from_json(json.loads(json.dumps(self.to_json())))
 
+    def fingerprint(self) -> str:
+        """Determinism fingerprint of the trajectory captured so far.
+
+        Combines the record multiset with every agent's rolling digest
+        (finished agents carry it on the checkpoint, running agents on
+        their boundary); comparable against
+        :meth:`repro.search.base.SearchResult.fingerprint` semantics for
+        runs checkpointed at the same virtual time.
+        """
+        from ..verify.fingerprint import trajectory_fingerprint
+        digests = {}
+        for agent in self.agents:
+            if agent.done and agent.traj_digest:
+                digests[agent.agent_id] = agent.traj_digest
+            elif agent.boundary is not None and agent.boundary.traj_digest:
+                digests[agent.agent_id] = agent.boundary.traj_digest
+        return trajectory_fingerprint(self.records, digests,
+                                      method=self.method, seed=self.seed)
+
 
 # ----------------------------------------------------------------------
 # JSON helpers
@@ -201,9 +227,11 @@ def _agent_to_json(agent: AgentCheckpoint) -> dict:
             "num_submitted": b.num_submitted,
             "num_cache_hits": b.num_cache_hits,
             "num_failed": b.num_failed,
+            "traj_digest": b.traj_digest,
         },
         "cache": [[_key_to_json(key), _result_to_json(res)]
                   for key, res in agent.cache_entries],
+        "traj_digest": agent.traj_digest,
     }
 
 
@@ -224,13 +252,15 @@ def _agent_from_json(data: dict) -> AgentCheckpoint:
         num_records=int(b["num_records"]),
         num_submitted=int(b["num_submitted"]),
         num_cache_hits=int(b["num_cache_hits"]),
-        num_failed=int(b["num_failed"]))
+        num_failed=int(b["num_failed"]),
+        traj_digest=str(b.get("traj_digest", "")))
     cache = [(_key_from_json(key), _result_from_json(res))
              for key, res in data["cache"]]
     return AgentCheckpoint(agent_id=int(data["agent_id"]),
                            done=bool(data["done"]),
                            converged=bool(data["converged"]),
-                           boundary=boundary, cache_entries=cache)
+                           boundary=boundary, cache_entries=cache,
+                           traj_digest=data.get("traj_digest"))
 
 
 def _key_to_json(key: tuple) -> list:

@@ -48,6 +48,7 @@ from ..rl.parameter_server import ParameterServer
 from ..rl.policy import LSTMPolicy
 from ..rl.sharded_ps import ShardedParameterServer
 from ..rl.ppo import PPOConfig, PPOUpdater
+from ..verify.fingerprint import agent_genesis, chain_step
 from .base import RewardRecord, SearchConfig, SearchResult
 from .checkpoint import AgentBoundary, AgentCheckpoint, SearchCheckpoint
 
@@ -87,6 +88,8 @@ class NasSearch:
         self._failed_agents: list[tuple[int, str]] = []
         self._done_agents: dict[int, bool] = {}    # agent_id -> converged
         self._boundaries: dict[int, AgentBoundary] = {}
+        #: per-agent rolling trajectory digests (repro.verify.fingerprint)
+        self._digests: dict[int, str] = {}
         self._resume: dict[int, AgentBoundary] = {}
         self._search_end_time: float | None = None
         self._ckpt_proc = None
@@ -169,7 +172,8 @@ class NasSearch:
                             converged, unique,
                             failed_agents=list(self._failed_agents),
                             num_failed_evals=sum(ev.num_failed
-                                                 for ev in self.evaluators))
+                                                 for ev in self.evaluators),
+                            agent_digests=dict(self._digests))
 
     # ------------------------------------------------------------------
     def _agent(self, agent_id: int):
@@ -221,12 +225,16 @@ class NasSearch:
             consecutive_cached = resume.consecutive_cached
             iteration = resume.iteration
             my_records = resume.num_records
+            digest = resume.traj_digest or agent_genesis(cfg.seed, agent_id)
+            self._digests[agent_id] = digest
             yield Timeout(resume.time)
         else:
             rng = np.random.default_rng((cfg.seed, agent_id, 0xA6E))
             consecutive_cached = 0
             iteration = 0
             my_records = 0
+            digest = agent_genesis(cfg.seed, agent_id)
+            self._digests[agent_id] = digest
             # stagger startup slightly so same-instant submissions don't
             # all carry identical timestamps (and to model ramp-up)
             yield Timeout(rng.uniform(0.0, 2.0))
@@ -246,7 +254,8 @@ class NasSearch:
                     num_records=my_records,
                     num_submitted=evaluator.num_submitted,
                     num_cache_hits=evaluator.num_cache_hits,
-                    num_failed=evaluator.num_failed)
+                    num_failed=evaluator.num_failed,
+                    traj_digest=digest)
             if policy is None:  # RDM
                 actions = rng.integers(0, dims, size=(batch, len(dims)))
                 rollout = None
@@ -285,6 +294,13 @@ class NasSearch:
                 # with the parameter server's average
                 policy.add_flat(avg - delta)
 
+            # advance the agent's trajectory digest: what it sampled,
+            # what it was paid, and where its policy landed
+            digest = chain_step(digest, actions, rewards,
+                                None if policy is None
+                                else policy.get_flat())
+            self._digests[agent_id] = digest
+
             if evaluator.last_batch_all_cached:
                 consecutive_cached += 1
             else:
@@ -318,7 +334,8 @@ class NasSearch:
                 agents.append(AgentCheckpoint(
                     agent_id, done=True,
                     converged=self._done_agents[agent_id],
-                    boundary=None, cache_entries=entries))
+                    boundary=None, cache_entries=entries,
+                    traj_digest=self._digests.get(agent_id)))
                 continue
             boundary = self._boundaries.get(agent_id)
             if boundary is None:
@@ -386,6 +403,8 @@ class NasSearch:
                 ev.cache.restore(agent.cache_entries)
             if agent.done:
                 self._done_agents[agent.agent_id] = agent.converged
+                if agent.traj_digest:
+                    self._digests[agent.agent_id] = agent.traj_digest
                 continue
             boundary = agent.boundary
             if boundary is None:

@@ -1,0 +1,33 @@
+"""Correctness tooling: differential testing, gradient checking,
+determinism fingerprints.
+
+Three pillars, one question each:
+
+* :mod:`~repro.verify.diff` — do the eager and compiled execution paths
+  compute the same thing, for every architecture the search can emit?
+* :mod:`~repro.verify.gradcheck` — does every analytic backward pass
+  match finite differences?
+* :mod:`~repro.verify.fingerprint` — did two search runs make the same
+  decisions?
+
+Run the whole battery with ``python -m repro.verify all`` (or
+``make verify``); individual pillars via the ``diff`` / ``grad`` /
+``determinism`` subcommands.
+"""
+
+from .diff import (DiffReport, diff_plan, run_space_diffs, verify_report,
+                   write_verify_report)
+from .fingerprint import (agent_genesis, chain_step, param_digest,
+                          record_digest, trajectory_fingerprint)
+from .gradcheck import (GradCheckResult, check_layer, check_loss,
+                        check_policy, check_ppo_objective, default_checks,
+                        run_all)
+
+__all__ = [
+    "DiffReport", "diff_plan", "run_space_diffs", "verify_report",
+    "write_verify_report",
+    "agent_genesis", "chain_step", "param_digest", "record_digest",
+    "trajectory_fingerprint",
+    "GradCheckResult", "check_layer", "check_loss", "check_policy",
+    "check_ppo_objective", "default_checks", "run_all",
+]

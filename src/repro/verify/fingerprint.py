@@ -1,0 +1,103 @@
+"""Determinism fingerprints for search trajectories.
+
+A fingerprint is a canonical SHA-256 hash over everything a search run
+decided: per-agent rolling digests chain the sampled actions, the
+rewards received, and a digest of the policy parameters after every
+iteration, and the global record stream is hashed as a sorted canonical
+multiset (record *content*, not arrival order — resumed runs may
+interleave same-instant completions differently while producing the
+same records).
+
+Two runs with the same seed must produce bit-identical fingerprints;
+a checkpoint/resume run must produce the fingerprint of the
+uninterrupted run.  The digests are cheap (one SHA-256 per agent
+iteration) and thread through :class:`~repro.search.base.SearchResult`
+and the checkpoint layer, so "did these two runs do the same thing?"
+is a string comparison.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+__all__ = ["agent_genesis", "chain_step", "param_digest", "record_digest",
+           "trajectory_fingerprint"]
+
+
+def _h(*chunks: bytes) -> str:
+    h = hashlib.sha256()
+    for c in chunks:
+        h.update(c)
+    return h.hexdigest()
+
+
+def agent_genesis(seed: int, agent_id: int) -> str:
+    """Digest an agent's chain starts from (before its first iteration)."""
+    return _h(b"repro.agent.genesis",
+              np.int64([seed, agent_id]).tobytes())
+
+
+def param_digest(flat: np.ndarray | None) -> str:
+    """Canonical digest of a packed parameter vector ('' for RDM)."""
+    if flat is None:
+        return ""
+    return _h(b"repro.params",
+              np.ascontiguousarray(flat, dtype=np.float64).tobytes())
+
+
+def chain_step(prev: str, actions: np.ndarray, rewards: np.ndarray,
+               policy_flat: np.ndarray | None = None) -> str:
+    """Advance an agent's rolling digest by one search iteration.
+
+    Hashes the previous digest, the (B, T) sampled action matrix, the
+    per-row rewards, and the post-update policy parameters (skipped for
+    RDM agents).  Every run that makes the same decisions in the same
+    per-agent order produces the same chain, independent of how agents
+    interleave globally.
+    """
+    chunks = [prev.encode("ascii"),
+              np.ascontiguousarray(actions, dtype=np.int64).tobytes(),
+              np.ascontiguousarray(rewards, dtype=np.float64).tobytes()]
+    if policy_flat is not None:
+        chunks.append(
+            np.ascontiguousarray(policy_flat, dtype=np.float64).tobytes())
+    return _h(b"repro.agent.step", *chunks)
+
+
+def _record_bytes(rec) -> bytes:
+    space, choices = rec.arch.key
+    return b"|".join([
+        np.float64([rec.time, rec.reward, rec.duration]).tobytes(),
+        np.int64([rec.agent_id, rec.params,
+                  int(rec.cached), int(rec.timed_out)]).tobytes(),
+        space.encode("utf-8"),
+        np.int64(list(choices)).tobytes(),
+    ])
+
+
+def record_digest(records) -> str:
+    """Order-independent digest of a reward-record stream.
+
+    Records are serialized canonically and hashed in sorted order, so
+    two runs agree iff they produced the same multiset of records —
+    arrival interleaving (which legitimately differs across
+    checkpoint/resume for same-instant completions) does not matter.
+    """
+    h = hashlib.sha256(b"repro.records")
+    for blob in sorted(_record_bytes(r) for r in records):
+        h.update(blob)
+    return h.hexdigest()
+
+
+def trajectory_fingerprint(records, agent_digests: dict[int, str], *,
+                           method: str, seed: int) -> str:
+    """The run-level fingerprint: method + seed + record multiset +
+    every agent's final chain digest (sorted by agent id)."""
+    chunks = [method.encode("utf-8"), np.int64([seed]).tobytes(),
+              record_digest(records).encode("ascii")]
+    for agent_id in sorted(agent_digests):
+        chunks.append(np.int64([agent_id]).tobytes())
+        chunks.append(agent_digests[agent_id].encode("ascii"))
+    return _h(b"repro.trajectory", *chunks)

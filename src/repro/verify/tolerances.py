@@ -1,0 +1,104 @@
+"""ULP-aware comparison tolerances for the differential tester.
+
+The eager and compiled execution paths run the same arithmetic through
+different buffer strategies (fresh allocations vs. pooled ``out=``
+kernels), so their results are usually bit-identical — but numpy is free
+to pick different SIMD reduction orders for in-place and out-of-place
+variants of the same op.  Comparisons therefore allow a small, per-op
+budget of ULPs (units in the last place) scaled by
+
+* the dtype's machine epsilon (so the same table serves float32 and
+  float64), and
+* the op's reduction length for contracting ops (a ``Dense`` over
+  ``d`` features accumulates ``d`` products; rounding error grows like
+  ``sqrt(d)`` for random data).
+
+``BACKWARD_SLACK`` widens the budget for gradient comparisons, which
+traverse the op twice (forward cache + backward contraction).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = ["op_ulps", "per_op_tolerance", "ulp_distance", "agree",
+           "max_abs_diff", "DEFAULT_ULPS", "BACKWARD_SLACK"]
+
+#: baseline ULP budgets per layer kind (before reduction scaling)
+_BASE_ULPS = {
+    "Identity": 0.0,
+    "Flatten": 0.0,
+    "Dropout": 4.0,
+    "Activation": 8.0,
+    "Concatenate": 0.0,
+    "Add": 8.0,
+    "MaxPooling1D": 0.0,
+    "Dense": 16.0,
+    "Conv1D": 32.0,
+    "LSTMCell": 64.0,
+}
+
+#: fallback for unknown ops
+DEFAULT_ULPS = 64.0
+
+#: gradient comparisons accumulate error from both passes
+BACKWARD_SLACK = 4.0
+
+
+def op_ulps(layer) -> float:
+    """ULP budget for one layer, scaled by its reduction length."""
+    kind = type(layer).__name__
+    ulps = _BASE_ULPS.get(kind, DEFAULT_ULPS)
+    if kind == "Dense" and layer.input_shape:
+        ulps *= max(1.0, math.sqrt(layer.input_shape[0]))
+    elif kind == "Conv1D" and layer.input_shape:
+        ulps *= max(1.0, math.sqrt(layer.kernel_size * layer.input_shape[1]))
+    return ulps
+
+
+def per_op_tolerance(layer, dtype, backward: bool = False
+                     ) -> tuple[float, float]:
+    """(rtol, atol) for comparing one layer's eager vs. compiled output.
+
+    A zero ULP budget still gets one epsilon of slack so pure data-copy
+    ops tolerate dtype-identical round trips.
+    """
+    eps = float(np.finfo(np.dtype(dtype)).eps)
+    ulps = max(op_ulps(layer), 1.0)
+    if backward:
+        ulps *= BACKWARD_SLACK
+    return ulps * eps, ulps * eps
+
+
+def max_abs_diff(a: np.ndarray, b: np.ndarray) -> float:
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.shape != b.shape:
+        return float("inf")
+    if a.size == 0:
+        return 0.0
+    return float(np.max(np.abs(a - b)))
+
+
+def ulp_distance(a: np.ndarray, b: np.ndarray, dtype) -> float:
+    """Largest elementwise |a − b| expressed in ULPs of ``dtype`` at b's
+    magnitude — the scale-free error measure the reports print."""
+    eps = float(np.finfo(np.dtype(dtype)).eps)
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.shape != b.shape:
+        return float("inf")
+    if a.size == 0:
+        return 0.0
+    scale = np.maximum(np.abs(b), 1.0)
+    return float(np.max(np.abs(a - b) / (eps * scale)))
+
+
+def agree(a: np.ndarray, b: np.ndarray, rtol: float, atol: float) -> bool:
+    a = np.asarray(a)
+    b = np.asarray(b)
+    if a.shape != b.shape:
+        return False
+    return bool(np.allclose(a, b, rtol=rtol, atol=atol))

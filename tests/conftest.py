@@ -20,12 +20,46 @@ from repro.nn.config import get_default_dtype, set_default_dtype
 from repro.problems import combo_problem, nt3_problem, uno_problem
 
 
+#: markers that define the test tiers (see docs/testing.md); anything
+#: not explicitly tiered is "fast" — the default inner-loop suite
+_TIER_MARKERS = ("slow", "chaos", "verify")
+
+
+def pytest_collection_modifyitems(config, items):
+    """Auto-mark untier-ed tests as ``fast`` so ``-m fast`` selects the
+    quick inner-loop subset without annotating hundreds of tests."""
+    for item in items:
+        if not any(item.get_closest_marker(m) for m in _TIER_MARKERS):
+            item.add_marker(pytest.mark.fast)
+
+
 @pytest.fixture(autouse=True)
 def _float64_substrate():
     previous = set_default_dtype(np.float64)
     assert get_default_dtype() == np.float64
     yield
     set_default_dtype(previous)
+
+
+@pytest.fixture
+def gradcheck():
+    """Finite-difference gradient checker: ``gradcheck(layer, shapes)``
+    (or ``gradcheck.check_loss`` / ``gradcheck.check_policy``), raising
+    on mismatch.  See :mod:`repro.verify.gradcheck`."""
+    from repro.verify import gradcheck as gc
+
+    class _Checker:
+        check_loss = staticmethod(
+            lambda *a, **kw: gc.check_loss(*a, **kw).assert_ok())
+        check_policy = staticmethod(
+            lambda *a, **kw: gc.check_policy(*a, **kw).assert_ok())
+        check_ppo = staticmethod(
+            lambda *a, **kw: gc.check_ppo_objective(*a, **kw).assert_ok())
+
+        def __call__(self, layer, input_shapes, **kw):
+            return gc.check_layer(layer, input_shapes, **kw).assert_ok()
+
+    return _Checker()
 
 
 @pytest.fixture
