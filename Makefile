@@ -27,10 +27,12 @@ smoke:
 	$(PYTHON) -c "import sys; from repro.perf import smoke; sys.exit(smoke([]))"
 
 ## fault-matrix smoke: seeded fault injection at several failure rates,
-## bounded reward degradation; plus the chaos-marked pytest suite
+## bounded reward degradation, plus the numerical health-layer profile
+## (NaN gradients, exploding updates, corrupt deltas under guard-mode
+## recover); then the chaos- and health-marked pytest suites
 chaos:
-	$(PYTHON) -m repro.search.chaos
-	$(PYTHON) -m pytest -q -m chaos
+	$(PYTHON) -m repro.search.chaos --profile all
+	$(PYTHON) -m pytest -q -m "chaos or health"
 
 ## record substrate baselines into BENCH_substrate.json
 bench:

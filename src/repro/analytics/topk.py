@@ -7,6 +7,7 @@ by estimated reward go to post-training (§5).
 
 from __future__ import annotations
 
+import math
 from collections import Counter
 
 from ..nas.arch import Architecture
@@ -16,15 +17,24 @@ __all__ = ["top_k_architectures", "unique_architectures",
            "cache_hit_fraction", "evaluations_per_agent"]
 
 
+def _rank_key(rec: RewardRecord) -> float:
+    """Reward with NaN pinned to -inf.  NaN compares False both ways, so
+    a naive ``rec.reward > cur.reward`` can neither displace a NaN
+    record nor rank it last — a NaN that sneaks into the reward stream
+    (guards off) would otherwise squat in the top-k forever."""
+    return -math.inf if math.isnan(rec.reward) else rec.reward
+
+
 def top_k_architectures(records: list[RewardRecord], k: int = 50
                         ) -> list[RewardRecord]:
-    """Best record per distinct architecture, highest reward first."""
+    """Best record per distinct architecture, highest reward first.
+    NaN rewards rank strictly below every finite (and ±inf) reward."""
     best: dict[tuple, RewardRecord] = {}
     for rec in records:
         cur = best.get(rec.arch.key)
-        if cur is None or rec.reward > cur.reward:
+        if cur is None or _rank_key(rec) > _rank_key(cur):
             best[rec.arch.key] = rec
-    return sorted(best.values(), key=lambda r: -r.reward)[:k]
+    return sorted(best.values(), key=lambda r: -_rank_key(r))[:k]
 
 
 def unique_architectures(records: list[RewardRecord]) -> int:

@@ -29,6 +29,7 @@ from .analytics import (best_so_far_trajectory, cache_hit_fraction,
                         time_to_reward, top_k_architectures,
                         unique_architectures)
 from .analytics.io import load_records, save_records
+from .health import GuardConfig
 from .hpc import NodeAllocation, TrainingCostModel
 from .nas.spaces import SPACES, get_space
 from .posttrain import post_train
@@ -79,8 +80,13 @@ def _cmd_search(args) -> int:
         epochs=1, train_fraction=args.fraction, timeout=600.0,
         seed=args.landscape_seed)
     alloc = NodeAllocation.paper_scaling(args.nodes, args.scaling)
+    guard_mode = getattr(args, "guard_mode", "off")
+    guard = (GuardConfig(mode=guard_mode)
+             if guard_mode != "off" else None)
     cfg = SearchConfig(method=args.method, allocation=alloc,
-                       wall_time=args.minutes * 60.0, seed=args.seed)
+                       wall_time=args.minutes * 60.0, seed=args.seed,
+                       guard=guard,
+                       max_restarts=getattr(args, "max_restarts", 0))
     print(f"running {args.method} on {space.name} "
           f"({alloc.num_agents} agents x {alloc.workers_per_agent} "
           f"workers, {args.minutes:.0f} simulated min) ...")
@@ -90,6 +96,9 @@ def _cmd_search(args) -> int:
           f"best reward: {result.best().reward:.3f}; "
           f"utilization: "
           f"{result.cluster.mean_utilization(max(result.end_time, 1e-9)):.2f}")
+    if guard is not None or cfg.max_restarts:
+        print(f"health: rollbacks={result.num_rollbacks} "
+              f"restarts={result.num_restarts}")
     if args.output:
         save_records(result.records, args.output, metadata={
             "problem": args.problem, "size": args.size,
@@ -242,6 +251,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--landscape-seed", type=int, default=7,
                    help="seed of the surrogate reward landscape")
     p.add_argument("--output", help="write a JSON-lines log here")
+    p.add_argument("--guard-mode", choices=("off", "check", "recover"),
+                   default="off",
+                   help="numerical health guards (repro.health): check "
+                        "= detect and crash the offending agent, "
+                        "recover = roll back + LR backoff first")
+    p.add_argument("--max-restarts", type=int, default=0,
+                   help="resurrect a crashed agent from its last "
+                        "iteration boundary up to this many times")
     p.set_defaults(fn=_cmd_search)
 
     p = sub.add_parser("analyze", help="summarize a search log")

@@ -26,6 +26,7 @@ import numpy as np
 from .analytics import (binned_mean_trajectory, cache_hit_fraction,
                              time_to_reward, top_k_architectures,
                              unique_architectures)
+from .health import GuardConfig
 from .hpc import NodeAllocation, TrainingCostModel
 from .nas.spaces import get_space
 from .posttrain import PostTrainReport, post_train
@@ -111,7 +112,9 @@ def surrogate_for(problem: str, size: str = "small",
 def run_cached(problem: str, method: str, size: str = "small",
                nodes: int = 256, mode: str = "agents",
                train_fraction: float = 0.1, seed: int = 3,
-               log_params_opt: float | None = None) -> SearchResult:
+               log_params_opt: float | None = None,
+               guard_mode: str = "off",
+               max_restarts: int = 0) -> SearchResult:
     """Memoized search run (figures share runs).
 
     ``log_params_opt`` overrides the surrogate's capacity optimum; the
@@ -120,13 +123,19 @@ def run_cached(problem: str, method: str, size: str = "small",
     training data but *not* at 40% — the §5.4 regime where "the training
     time in the reward estimation becomes a bottleneck" and the agents
     must trade reward for speed.
+
+    ``guard_mode`` / ``max_restarts`` thread the numerical health layer
+    (repro.health) through: with guards on but no anomaly firing, the
+    result fingerprints identically to the unguarded run.
     """
     overrides = {}
     if log_params_opt is not None:
         overrides["log_params_opt"] = log_params_opt
     reward = surrogate_for(problem, size, train_fraction, **overrides)
+    guard = GuardConfig(mode=guard_mode) if guard_mode != "off" else None
     cfg = SearchConfig(method=method, allocation=allocation(nodes, mode),
-                       wall_time=WALL_MINUTES * 60.0, seed=seed)
+                       wall_time=WALL_MINUTES * 60.0, seed=seed,
+                       guard=guard, max_restarts=max_restarts)
     return run_search(space_for(problem, size), reward, cfg)
 
 

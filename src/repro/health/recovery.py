@@ -1,0 +1,217 @@
+"""Recovery actuators: policy snapshot rings, rollback, delta hygiene.
+
+Where :mod:`repro.health.guards` only observes, this module acts.  Three
+actuators implement the self-healing ladder:
+
+* :class:`SnapshotRing` — a bounded ring of last-known-good
+  (policy parameters, optimizer moments) snapshots per agent.  Snapshots
+  are taken at iteration boundaries *before* the PPO update, so a
+  poisoned update is undone exactly by restoring the newest entry.
+* :class:`AgentHealth` — one agent's monitor + actuator.  It runs the
+  detectors over each update, and in ``recover`` mode rolls the policy
+  and Adam moments back to the newest good snapshot while backing off
+  the learning rate.  An agent whose lifetime accumulates
+  ``escalate_after`` rollbacks is declared beyond local repair and
+  escalates with :class:`~repro.health.guards.NumericalAnomaly` — the
+  search runner then resurrects it from its iteration boundary.
+* :class:`DeltaSanitizer` — parameter-server ingress hygiene: rejects
+  non-finite deltas outright and, once an EWMA of accepted-delta norms
+  is warmed up, rejects norm outliers (a diverging agent's update must
+  not be averaged into everyone else's policy).  Pure observation on the
+  accept path: accepted deltas are passed through bit-unchanged.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from .guards import (GuardConfig, LossSpikeDetector, NumericalAnomaly,
+                     PPODivergenceDetector, all_finite)
+
+__all__ = ["SnapshotRing", "AgentHealth", "DeltaSanitizer"]
+
+
+class SnapshotRing:
+    """Bounded ring of (iteration, policy_flat, opt_state) snapshots."""
+
+    def __init__(self, capacity: int = 4) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self._ring: deque[tuple[int, np.ndarray, dict | None]] = \
+            deque(maxlen=capacity)
+
+    def push(self, iteration: int, policy_flat: np.ndarray,
+             opt_state: dict | None) -> None:
+        """Record a known-good snapshot (arrays are copied on entry)."""
+        self._ring.append((iteration, np.array(policy_flat, copy=True),
+                           None if opt_state is None else {
+                               "t": int(opt_state["t"]),
+                               "m": np.array(opt_state["m"], copy=True),
+                               "v": np.array(opt_state["v"], copy=True)}))
+
+    def latest(self) -> tuple[int, np.ndarray, dict | None] | None:
+        return self._ring[-1] if self._ring else None
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+
+class AgentHealth:
+    """Numerical-health monitor and recovery actuator for one agent.
+
+    Lifecycle per search iteration::
+
+        health.snapshot(iteration, policy.get_flat(), opt.export_state())
+        delta, stats = updater.update_delta(rollout, rewards)
+        anomaly = health.check_update(policy.get_flat(), delta, stats)
+        if anomaly:             # recover mode
+            health.rollback(policy, updater.optimizer)   # may escalate
+
+    ``check_update`` is pure observation.  ``rollback`` restores the
+    newest snapshot, multiplies the optimizer's learning rate by the
+    configured backoff (floored at ``min_lr_fraction`` of the base
+    rate), and raises :class:`NumericalAnomaly` once this lifetime has
+    used up its rollback budget or has no snapshot to return to.
+    """
+
+    def __init__(self, config: GuardConfig, base_lr: float) -> None:
+        self.config = config
+        self.base_lr = float(base_lr)
+        self.ring = SnapshotRing(config.snapshot_ring)
+        self.loss_detector = LossSpikeDetector(
+            config.loss_spike_zscore, config.loss_ewma_alpha,
+            config.loss_warmup)
+        self.ppo_detector = PPODivergenceDetector(
+            config.kl_limit, config.ratio_limit)
+        # local update-direction hygiene: same EWMA-norm screen the
+        # parameter server applies to incoming deltas, so an exploding
+        # (finite but huge) local update is caught before it is pushed
+        self.delta_check = DeltaSanitizer.from_guard(config)
+        self.num_rollbacks = 0
+        self.last_anomaly: str | None = None
+
+    def snapshot(self, iteration: int, policy_flat: np.ndarray,
+                 opt_state: dict | None) -> None:
+        """Record the pre-update state as last known good."""
+        self.ring.push(iteration, policy_flat, opt_state)
+
+    def check_update(self, policy_flat: np.ndarray, delta: np.ndarray,
+                     stats=None) -> str | None:
+        """Inspect one finished PPO update; returns the anomaly kind or
+        ``None``.  Detection order: non-finite state first (cheap and
+        unambiguous), then divergence statistics, then the loss-spike
+        EWMA (which self-updates only on healthy observations)."""
+        reason = self.delta_check.check(delta)
+        if reason == "nonfinite":
+            self.last_anomaly = "nonfinite:delta"
+            return self.last_anomaly
+        if reason == "outlier":
+            self.last_anomaly = "delta_outlier:delta"
+            return self.last_anomaly
+        if not all_finite(policy_flat):
+            self.last_anomaly = "nonfinite:policy"
+            return self.last_anomaly
+        if stats is not None:
+            kind = self.ppo_detector.check(stats)
+            if kind is not None:
+                self.last_anomaly = f"{kind}:ppo"
+                return self.last_anomaly
+            if self.loss_detector.observe(stats.policy_loss
+                                          + stats.value_loss):
+                self.last_anomaly = "loss_spike:ppo"
+                return self.last_anomaly
+        self.last_anomaly = None
+        return None
+
+    def rollback(self, policy, optimizer) -> tuple[int, float]:
+        """Restore the newest good snapshot and back off the learning
+        rate; returns ``(iteration_restored, new_lr)``.  Escalates with
+        :class:`NumericalAnomaly` when the lifetime rollback budget is
+        spent or no snapshot exists."""
+        entry = self.ring.latest()
+        if entry is None:
+            raise NumericalAnomaly(
+                "rollback_exhausted", "agent",
+                f"no snapshot to restore after {self.last_anomaly}")
+        if self.num_rollbacks + 1 >= self.config.escalate_after:
+            raise NumericalAnomaly(
+                "rollback_exhausted", "agent",
+                f"{self.num_rollbacks + 1} rollbacks this lifetime "
+                f"(last anomaly: {self.last_anomaly})")
+        iteration, policy_flat, opt_state = entry
+        policy.set_flat(policy_flat)
+        if opt_state is not None:
+            optimizer.restore_state(opt_state)
+        floor = self.base_lr * self.config.min_lr_fraction
+        optimizer.lr = max(optimizer.lr * self.config.lr_backoff, floor)
+        self.num_rollbacks += 1
+        return iteration, optimizer.lr
+
+
+class DeltaSanitizer:
+    """Parameter-server ingress hygiene for exchanged update deltas.
+
+    ``check`` returns ``None`` to accept a delta (and folds its norm
+    into the EWMA baseline) or a rejection reason: ``"nonfinite"`` for
+    NaN/Inf entries, ``"outlier"`` for a norm more than
+    ``norm_factor`` x the EWMA of accepted norms once ``warmup``
+    accepted pushes have seeded the baseline.  Rejection counters are
+    public and exported/restored with parameter-server checkpoints.
+    """
+
+    def __init__(self, norm_factor: float = 50.0, warmup: int = 8,
+                 ewma_alpha: float = 0.2) -> None:
+        if norm_factor <= 1.0:
+            raise ValueError("norm_factor must be > 1")
+        if warmup < 1:
+            raise ValueError("warmup must be >= 1")
+        if not 0.0 < ewma_alpha <= 1.0:
+            raise ValueError("ewma_alpha must be in (0, 1]")
+        self.norm_factor = norm_factor
+        self.warmup = warmup
+        self.ewma_alpha = ewma_alpha
+        self.accepted = 0
+        self.ewma_norm = 0.0
+        self.num_rejected_nonfinite = 0
+        self.num_rejected_outlier = 0
+
+    @classmethod
+    def from_guard(cls, config: GuardConfig) -> "DeltaSanitizer":
+        return cls(norm_factor=config.delta_norm_factor,
+                   warmup=config.delta_warmup)
+
+    @property
+    def num_rejected(self) -> int:
+        return self.num_rejected_nonfinite + self.num_rejected_outlier
+
+    def check(self, delta: np.ndarray) -> str | None:
+        """Accept (``None``) or give the rejection reason for ``delta``."""
+        if not all_finite(delta):
+            self.num_rejected_nonfinite += 1
+            return "nonfinite"
+        norm = float(np.linalg.norm(delta))
+        if (self.accepted >= self.warmup
+                and norm > self.norm_factor * max(self.ewma_norm, 1e-12)):
+            self.num_rejected_outlier += 1
+            return "outlier"
+        if self.accepted == 0:
+            self.ewma_norm = norm
+        else:
+            self.ewma_norm += self.ewma_alpha * (norm - self.ewma_norm)
+        self.accepted += 1
+        return None
+
+    # -- checkpoint support --------------------------------------------
+    def export_state(self) -> dict:
+        return {"accepted": self.accepted, "ewma_norm": self.ewma_norm,
+                "num_rejected_nonfinite": self.num_rejected_nonfinite,
+                "num_rejected_outlier": self.num_rejected_outlier}
+
+    def restore_state(self, state: dict) -> None:
+        self.accepted = int(state["accepted"])
+        self.ewma_norm = float(state["ewma_norm"])
+        self.num_rejected_nonfinite = int(
+            state.get("num_rejected_nonfinite", 0))
+        self.num_rejected_outlier = int(state.get("num_rejected_outlier", 0))

@@ -34,11 +34,12 @@ import numpy as np
 
 from .sim import Interrupt, Process, Simulator, Timeout
 
-__all__ = ["FaultConfig", "JobFault", "FaultInjector"]
+__all__ = ["FaultConfig", "JobFault", "NumericFault", "FaultInjector"]
 
-# RNG stream tags: keep node-event draws and per-job draws independent
+# RNG stream tags: keep node-event, per-job and numeric draws independent
 _NODE_STREAM = 0xFA01
 _JOB_STREAM = 0xFA02
+_NUMERIC_STREAM = 0xFA03
 
 
 @dataclass(frozen=True)
@@ -66,6 +67,19 @@ class FaultConfig:
         workflow service is unreachable and submissions stall.
     min_worker_nodes:
         Node failures never take the in-service capacity below this.
+    nan_grad_prob:
+        Probability that one (agent, iteration) PPO update is poisoned
+        with NaNs — modelling a hardware bit-flip or fused-kernel bug
+        corrupting a gradient buffer.
+    exploding_loss_prob:
+        Probability that one (agent, iteration) update direction is
+        scaled by ``exploding_factor`` — a diverged local policy.
+    exploding_factor:
+        Magnitude multiplier for exploding-loss faults.
+    corrupt_delta_prob:
+        Probability that the copy of the delta *sent to the parameter
+        server* for one (agent, iteration) is corrupted in flight; the
+        local update stays healthy.
     seed:
         Seeds every fault decision; same seed, same fault schedule.
     """
@@ -77,16 +91,24 @@ class FaultConfig:
     straggler_factor: float = 3.0
     outages: tuple[tuple[float, float], ...] = ()
     min_worker_nodes: int = 1
+    nan_grad_prob: float = 0.0
+    exploding_loss_prob: float = 0.0
+    exploding_factor: float = 1e6
+    corrupt_delta_prob: float = 0.0
     seed: int = 0
 
     def __post_init__(self) -> None:
         if self.node_mtbf < 0 or self.node_repair_time <= 0:
             raise ValueError("node_mtbf must be >= 0 and repair time > 0")
-        if not 0.0 <= self.job_crash_prob <= 1.0 \
-                or not 0.0 <= self.straggler_prob <= 1.0:
-            raise ValueError("probabilities must be in [0, 1]")
+        for p in (self.job_crash_prob, self.straggler_prob,
+                  self.nan_grad_prob, self.exploding_loss_prob,
+                  self.corrupt_delta_prob):
+            if not 0.0 <= p <= 1.0:
+                raise ValueError("probabilities must be in [0, 1]")
         if self.straggler_factor < 1.0:
             raise ValueError("straggler_factor must be >= 1")
+        if self.exploding_factor <= 1.0:
+            raise ValueError("exploding_factor must be > 1")
         if self.min_worker_nodes < 1:
             raise ValueError("min_worker_nodes must be >= 1")
         for start, end in self.outages:
@@ -94,9 +116,16 @@ class FaultConfig:
                 raise ValueError(f"bad outage window ({start}, {end})")
 
     @property
+    def numeric_enabled(self) -> bool:
+        """Any numerical fault (repro.health's chaos counterpart) armed?"""
+        return (self.nan_grad_prob > 0 or self.exploding_loss_prob > 0
+                or self.corrupt_delta_prob > 0)
+
+    @property
     def enabled(self) -> bool:
         return (self.node_mtbf > 0 or self.job_crash_prob > 0
-                or self.straggler_prob > 0 or bool(self.outages))
+                or self.straggler_prob > 0 or bool(self.outages)
+                or self.numeric_enabled)
 
 
 @dataclass(frozen=True)
@@ -106,6 +135,24 @@ class JobFault:
     crashes: bool = False
     crash_frac: float = 0.5      # fraction of the run completed at crash
     slowdown: float = 1.0
+
+
+@dataclass(frozen=True)
+class NumericFault:
+    """Numerical fault decisions for one (agent, iteration).
+
+    At most one kind fires per iteration (they model distinct root
+    causes); ``none`` is True when the iteration is healthy.
+    """
+
+    nan_grad: bool = False
+    exploding_loss: bool = False
+    corrupt_delta: bool = False
+
+    @property
+    def none(self) -> bool:
+        return not (self.nan_grad or self.exploding_loss
+                    or self.corrupt_delta)
 
 
 class FaultInjector:
@@ -127,6 +174,7 @@ class FaultInjector:
         self.num_node_failures = 0
         self.num_node_repairs = 0
         self.num_job_crashes = 0
+        self.num_numeric_faults = 0
 
     # -- node failures -------------------------------------------------
     def attach(self, cluster) -> None:
@@ -199,6 +247,38 @@ class FaultInjector:
         slowdown = (cfg.straggler_factor
                     if rng.random() < cfg.straggler_prob else 1.0)
         return JobFault(crashes, crash_frac, slowdown)
+
+    # -- numerical faults ----------------------------------------------
+    def numeric_fault(self, agent_id: int, iteration: int,
+                      attempt: int = 0) -> NumericFault | None:
+        """Numerical fault decisions for one agent iteration.
+
+        A pure function of ``(seed, agent_id, iteration, attempt)`` on
+        its own RNG stream — independent of per-job and node draws, of
+        agent scheduling order, and of how many times it is queried.
+        ``attempt`` is the agent's lifetime number (restarts so far):
+        these faults model *transient* corruption, so a resurrected
+        agent replaying the same iteration draws fresh — a permanent
+        same-draw fault would deterministically kill every restart.
+        The caller that applies a fault bumps :attr:`num_numeric_faults`.
+        Returns ``None`` when numerical faults are disabled.
+        """
+        cfg = self.config
+        if not cfg.numeric_enabled:
+            return None
+        rng = np.random.default_rng(
+            (cfg.seed, _NUMERIC_STREAM, agent_id, iteration, attempt))
+        draw = float(rng.random())
+        # one draw, disjoint intervals: at most one fault kind fires
+        if draw < cfg.nan_grad_prob:
+            return NumericFault(nan_grad=True)
+        draw -= cfg.nan_grad_prob
+        if draw < cfg.exploding_loss_prob:
+            return NumericFault(exploding_loss=True)
+        draw -= cfg.exploding_loss_prob
+        if draw < cfg.corrupt_delta_prob:
+            return NumericFault(corrupt_delta=True)
+        return NumericFault()
 
     # -- service outages ------------------------------------------------
     def outage_delay(self, now: float) -> float:

@@ -34,6 +34,7 @@ from __future__ import annotations
 import numpy as np
 
 from . import config
+from ..health.guards import NumericalAnomaly, all_finite
 from .conv import Flatten
 from .layers import Activation, Dropout, Identity
 from .merge import Concatenate, MergeLayer
@@ -108,6 +109,14 @@ class ExecutionPlan:
         self.dtype = model.dtype
         self.pool = BufferPool()
 
+        #: opt-in numerical guard (repro.health): when set, every forward
+        #: scans the pass's activations and every backward scans the
+        #: produced input gradients for NaN/Inf, raising NumericalAnomaly
+        #: naming the offending node.  Off by default — the hot loops are
+        #: untouched; the scans run after them, outside the step loop.
+        self.check_finite = False
+        self.step_names = list(model._order)
+
         escaping = self._escaping_nodes(model)
         self.steps: list[_Step] = []
         for name in model._order:
@@ -150,6 +159,15 @@ class ExecutionPlan:
             else:
                 values[step.out_slot] = step.layer.forward(
                     values[step.in_slots[0]], training)
+        if self.check_finite:
+            # the pass just completed, so every activation (including the
+            # pooled interior ones) is still this pass's value
+            for step, name in zip(self.steps, self.step_names):
+                v = values[step.out_slot]
+                if v is not None and not all_finite(v):
+                    raise NumericalAnomaly(
+                        "nonfinite", f"activation:{name}",
+                        "non-finite values in forward pass")
         return values[self.out_slot]
 
     def run_backward(self, grad_output: np.ndarray) -> dict[str, np.ndarray]:
@@ -176,6 +194,10 @@ class ExecutionPlan:
             g = grads[slot]
             if g is None:
                 g = np.zeros((1,) + self.input_shapes[name], dtype=self.dtype)
+            if self.check_finite and not all_finite(g):
+                raise NumericalAnomaly(
+                    "nonfinite", f"input_grad:{name}",
+                    "non-finite values in backward pass")
             out[name] = g
             grads[slot] = None
         return out

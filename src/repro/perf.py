@@ -256,7 +256,8 @@ def smoke(argv: list[str] | None = None) -> int:
     # quick; 'make chaos' runs the full none/light/moderate/heavy matrix
     print("smoke: light fault-injection pass (see 'make chaos' for the "
           "full matrix)")
-    from repro.search.chaos import check_rows, fault_matrix
+    from repro.search.chaos import (check_numeric_rows, check_rows,
+                                    fault_matrix, numeric_matrix)
     rows = fault_matrix(minutes=10.0, levels=("none", "light"))
     problems = check_rows(rows, tolerance=0.10)
     for problem in problems:
@@ -264,6 +265,23 @@ def smoke(argv: list[str] | None = None) -> int:
     if problems:
         return 1
     print("smoke: fault smoke within tolerance")
+    # light NaN-injection pass: inject numeric faults into one a3c
+    # search under guard-mode=recover and require the health layer to
+    # heal it (rollback + resurrection, nothing permanently lost); the
+    # outcome rides along in VERIFY_report.json next to the
+    # differential record so recovery is tracked across commits
+    print("smoke: light NaN-injection pass (health layer, a3c)")
+    from repro.verify.diff import write_verify_report
+    health_rows = numeric_matrix(minutes=40.0, methods=("a3c",))
+    health_problems = check_numeric_rows(health_rows)
+    write_verify_report(root / "VERIFY_report.json",
+                        {"kind": "health_smoke",
+                         "ok": not health_problems, "rows": health_rows})
+    for problem in health_problems:
+        print(f"smoke: health FAIL — {problem}")
+    if health_problems:
+        return 1
+    print("smoke: health layer recovered from injected numeric faults")
     return 0
 
 

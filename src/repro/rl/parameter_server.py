@@ -16,6 +16,14 @@ central parameter server:
 
 The server is simulation-aware: synchronous pushes return an event of
 the discrete-event kernel that fires when the barrier releases.
+
+Delta hygiene (``docs/robustness.md``): an optional
+:class:`~repro.health.recovery.DeltaSanitizer` screens every incoming
+update — non-finite or norm-outlier deltas are *rejected* (counted, and
+excluded from the averages other agents receive) instead of poisoning
+the shared exchange, and ``max_delta_age`` additionally evicts stale
+async updates by virtual age.  With no sanitizer configured every push
+path is byte-for-byte the unguarded server.
 """
 
 from __future__ import annotations
@@ -32,41 +40,86 @@ __all__ = ["ParameterServer"]
 class ParameterServer:
     def __init__(self, sim: Simulator, num_agents: int, mode: str = "async",
                  staleness_window: int | None = None,
-                 latency: float = 0.1, service_time: float = 0.0) -> None:
+                 latency: float = 0.1, service_time: float = 0.0,
+                 sanitizer=None, max_delta_age: float | None = None) -> None:
         if mode not in ("sync", "async"):
             raise ValueError(f"mode must be 'sync' or 'async', got {mode!r}")
         if num_agents <= 0:
             raise ValueError("num_agents must be positive")
         if service_time < 0:
             raise ValueError("service_time must be non-negative")
+        if max_delta_age is not None and max_delta_age <= 0:
+            raise ValueError("max_delta_age must be positive")
         self.sim = sim
         self.mode = mode
         self.num_agents = num_agents
         self.active_agents = num_agents
         self.latency = latency
         self.service_time = service_time
+        self.sanitizer = sanitizer
+        self.max_delta_age = max_delta_age
         self.num_rounds = 0
         self.num_pushes = 0
         # async state: recent updates (default window: half the agents,
-        # "a set of recently received gradients")
+        # "a set of recently received gradients"); push times recorded in
+        # parallel so max_delta_age can evict by virtual age
         window = staleness_window or max(1, num_agents // 2)
         self._recent: deque[np.ndarray] = deque(maxlen=window)
+        self._recent_times: deque[float] = deque(maxlen=window)
         # sync state; pushes are tagged with their agent id (when given)
-        # so checkpoints can attribute in-flight barrier pushes
+        # so checkpoints can attribute in-flight barrier pushes and a
+        # resurrected agent can withdraw its stale push
         self._pending: list[np.ndarray] = []
         self._pending_agents: list[int | None] = []
+        self._pending_ok: list[bool] = []
         self._waiters: list[Event] = []
         self.num_failed_agents = 0
+        self.num_resurrections = 0
+        self.num_stale_evicted = 0
         # timed-service state: the PS node handles one push at a time
         self._busy_until = 0.0
 
+    # -- delta hygiene ----------------------------------------------------
+    def _sanitize(self, delta: np.ndarray) -> str | None:
+        """Screen one incoming delta; returns the rejection reason or
+        ``None`` (always ``None`` with no sanitizer configured)."""
+        if self.sanitizer is None:
+            return None
+        return self.sanitizer.check(delta)
+
+    @property
+    def num_rejected_deltas(self) -> int:
+        return 0 if self.sanitizer is None else self.sanitizer.num_rejected
+
+    def _evict_stale(self) -> None:
+        if self.max_delta_age is None:
+            return
+        horizon = self.sim.now - self.max_delta_age
+        while self._recent_times and self._recent_times[0] < horizon:
+            self._recent_times.popleft()
+            self._recent.popleft()
+            self.num_stale_evicted += 1
+
     # -- async (A3C) ------------------------------------------------------
     def push_async(self, delta: np.ndarray) -> np.ndarray:
-        """Record an update; return the average of recent updates."""
+        """Record an update; return the average of recent updates.
+
+        A rejected delta is not recorded: the caller receives the
+        average of the surviving recent updates (or a zero vector if
+        none exist) so its local poisoned step is replaced rather than
+        amplified.
+        """
         if self.mode != "async":
             raise RuntimeError("push_async on a synchronous server")
         self.num_pushes += 1
-        self._recent.append(np.asarray(delta, dtype=np.float64))
+        delta = np.asarray(delta, dtype=np.float64)
+        self._evict_stale()
+        if self._sanitize(delta) is not None:
+            if self._recent:
+                return np.mean(self._recent, axis=0)
+            return np.zeros_like(delta)
+        self._recent.append(delta)
+        self._recent_times.append(self.sim.now)
         return np.mean(self._recent, axis=0)
 
     def push_async_timed(self, delta: np.ndarray) -> Event:
@@ -101,13 +154,21 @@ class ParameterServer:
     def push_sync(self, delta: np.ndarray, agent_id: int | None = None
                   ) -> Event:
         """Submit an update; the returned event fires with the round's
-        average once every active agent has pushed."""
+        average once every active agent has pushed.
+
+        A rejected delta still *counts toward the barrier* (the pushing
+        agent receives the round average like everyone else) but is
+        excluded from the average itself — barrier liveness and delta
+        hygiene are independent concerns.
+        """
         if self.mode != "sync":
             raise RuntimeError("push_sync on an asynchronous server")
         self.num_pushes += 1
+        delta = np.asarray(delta, dtype=np.float64)
         ev = self.sim.event()
-        self._pending.append(np.asarray(delta, dtype=np.float64))
+        self._pending.append(delta)
         self._pending_agents.append(agent_id)
+        self._pending_ok.append(self._sanitize(delta) is None)
         self._waiters.append(ev)
         self._maybe_release()
         return ev
@@ -125,12 +186,40 @@ class ParameterServer:
         if self.mode == "sync":
             self._maybe_release()
 
+    def register(self, agent_id: int | None = None) -> None:
+        """A resurrected agent rejoins the exchange (see
+        ``NasSearch``'s restart path); grows the barrier back.
+
+        Barrier safety: any pending push or waiter still tagged with
+        ``agent_id`` belongs to the agent's *crashed* attempt — its
+        replayed iteration will push again — so it is withdrawn first.
+        Growing the barrier can only raise the release threshold, and
+        withdrawal only shrinks the pending set, so re-registration can
+        never release (let alone double-release) a round by itself.
+        """
+        if self.active_agents >= self.num_agents:
+            raise RuntimeError("more registrations than agents")
+        if agent_id is not None and self.mode == "sync":
+            for i in reversed(range(len(self._pending_agents))):
+                if self._pending_agents[i] == agent_id:
+                    self._pending.pop(i)
+                    self._pending_agents.pop(i)
+                    self._pending_ok.pop(i)
+                    self._waiters.pop(i)
+        self.active_agents += 1
+        self.num_resurrections += 1
+
     def _maybe_release(self) -> None:
         if self._waiters and len(self._pending) >= max(1, self.active_agents):
-            avg = np.mean(self._pending, axis=0)
+            good = [d for d, ok in zip(self._pending, self._pending_ok) if ok]
+            if good:
+                avg = np.mean(good, axis=0)
+            else:       # every push this round was rejected: no movement
+                avg = np.zeros_like(self._pending[0])
             waiters, self._waiters = self._waiters, []
             self._pending = []
             self._pending_agents = []
+            self._pending_ok = []
             self.num_rounds += 1
             delay = self.latency
             for ev in waiters:
@@ -145,7 +234,7 @@ class ParameterServer:
         replays from their iteration boundaries, so they will be pushed
         again.
         """
-        return {
+        state = {
             "mode": self.mode,
             "active_agents": self.active_agents,
             "num_rounds": self.num_rounds,
@@ -153,6 +242,21 @@ class ParameterServer:
             "num_failed_agents": self.num_failed_agents,
             "recent": [v.tolist() for v in self._recent],
         }
+        # Health-layer counters ride along only when the layer is in
+        # play, so a guard-off checkpoint keeps the pinned v1 schema
+        # (tests/test_search_checkpoint_golden.py) byte-for-byte.
+        if (self.sanitizer is not None or self.max_delta_age is not None
+                or self.num_resurrections or self.num_stale_evicted):
+            health: dict = {
+                "num_resurrections": self.num_resurrections,
+                "num_stale_evicted": self.num_stale_evicted,
+            }
+            if self.sanitizer is not None:
+                health["sanitizer"] = self.sanitizer.export_state()
+            if self.max_delta_age is not None:
+                health["recent_times"] = list(self._recent_times)
+            state["health"] = health
+        return state
 
     def restore_state(self, state: dict) -> None:
         if state["mode"] != self.mode:
@@ -164,8 +268,21 @@ class ParameterServer:
         self.num_pushes = int(state["num_pushes"])
         self.num_failed_agents = int(state.get("num_failed_agents", 0))
         self._recent.clear()
+        self._recent_times.clear()
         for vec in state["recent"]:
             self._recent.append(np.asarray(vec, dtype=np.float64))
+        health = state.get("health", {})
+        self.num_resurrections = int(health.get("num_resurrections", 0))
+        self.num_stale_evicted = int(health.get("num_stale_evicted", 0))
+        if self.sanitizer is not None and "sanitizer" in health:
+            self.sanitizer.restore_state(health["sanitizer"])
+        for t in health.get("recent_times", []):
+            self._recent_times.append(float(t))
+        # age eviction needs a timestamp per recent entry; a checkpoint
+        # written without them treats the survivors as freshly pushed
+        while len(self._recent_times) < len(self._recent):
+            self._recent_times.append(self.sim.now)
         self._pending = []
         self._pending_agents = []
+        self._pending_ok = []
         self._waiters = []

@@ -61,6 +61,11 @@ class PPOStats:
     entropy: float
     clip_fraction: float
     grad_norm: float
+    #: divergence statistics read by the health layer's PPO detector
+    #: (repro.health): mean (r - 1) - log r estimator of KL(old||new),
+    #: and the largest probability ratio of the update
+    approx_kl: float = 0.0
+    max_ratio: float = 1.0
 
 
 class PPOUpdater:
@@ -132,9 +137,12 @@ class PPOUpdater:
             self.policy.zero_grad()
             self.policy.backward_train(caches, d_logp, d_value, d_entropy)
 
+        log_ratio = logp - old_logp
         stats = PPOStats(float(policy_loss), float(value_loss),
                          float(entropy), float(np.mean(ratio != clipped)),
-                         0.0)
+                         0.0,
+                         approx_kl=float(np.mean(ratio - 1.0 - log_ratio)),
+                         max_ratio=float(np.max(ratio)))
         return loss, stats
 
     def update(self, rollout: Rollout, rewards: np.ndarray) -> PPOStats:

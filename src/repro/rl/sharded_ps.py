@@ -97,6 +97,11 @@ class ShardedParameterServer:
     def queue_delay(self) -> float:
         return max(shard.queue_delay for shard in self.shards)
 
-    def deregister(self) -> None:
+    def deregister(self, failed: bool = False) -> None:
         for shard in self.shards:
-            shard.deregister()
+            shard.deregister(failed=failed)
+
+    def register(self, agent_id: int | None = None) -> None:
+        """A resurrected agent rejoins every shard (repro.health)."""
+        for shard in self.shards:
+            shard.register(agent_id)

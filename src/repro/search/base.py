@@ -6,6 +6,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..health.guards import GuardConfig
 from ..hpc.cluster import Cluster, NodeAllocation
 from ..hpc.faults import FaultConfig
 from ..nas.arch import Architecture
@@ -74,8 +75,19 @@ class SearchConfig:
     checkpoint_interval: float | None = None
     #: also write the most recent checkpoint to this JSON file
     checkpoint_path: str | None = None
+    #: numerical-health guards (repro.health): None or mode "off" leaves
+    #: every guarded code path bit-identical to the unguarded build;
+    #: "check" detects and crashes the offending agent; "recover" rolls
+    #: back to the last good snapshot with learning-rate backoff first
+    guard: GuardConfig | None = None
+    #: restart crashed (or guard-escalated) agents from their last
+    #: iteration boundary up to this many times per agent (0 = crashed
+    #: agents stay down, the pre-health behaviour)
+    max_restarts: int = 0
 
     def __post_init__(self) -> None:
+        if self.max_restarts < 0:
+            raise ValueError("max_restarts must be non-negative")
         if self.method not in ("a3c", "a2c", "rdm"):
             raise ValueError(f"unknown method {self.method!r}")
         if self.wall_time <= 0:
@@ -123,10 +135,24 @@ class SearchResult:
     #: post-update policy parameters chained per iteration); see
     #: :mod:`repro.verify.fingerprint`
     agent_digests: dict = field(default_factory=dict)
+    #: health-layer bookkeeping (repro.health): how often each agent was
+    #: resurrected from its iteration boundary, and how often each
+    #: agent's policy was rolled back to a known-good snapshot.  Both
+    #: stay empty when the health layer is off.
+    agent_restarts: dict = field(default_factory=dict)
+    agent_rollbacks: dict = field(default_factory=dict)
 
     @property
     def num_evaluations(self) -> int:
         return len(self.records)
+
+    @property
+    def num_restarts(self) -> int:
+        return sum(self.agent_restarts.values())
+
+    @property
+    def num_rollbacks(self) -> int:
+        return sum(self.agent_rollbacks.values())
 
     def fingerprint(self) -> str:
         """Canonical determinism fingerprint of this run's trajectory.
@@ -139,10 +165,18 @@ class SearchResult:
                                       method=self.config.method,
                                       seed=self.config.seed)
 
+    @staticmethod
+    def _rank_key(rec: RewardRecord) -> float:
+        """Reward as a ranking key with NaN pinned to -inf, so a NaN
+        reward (guards off, metric diverged) can never outrank — or,
+        via comparison-is-always-False, squat above — a finite one."""
+        r = rec.reward
+        return float("-inf") if np.isnan(r) else r
+
     def best(self) -> RewardRecord:
         if not self.records:
             raise ValueError("no evaluations recorded")
-        return max(self.records, key=lambda r: r.reward)
+        return max(self.records, key=self._rank_key)
 
     def top_k(self, k: int = 50) -> list[RewardRecord]:
         """Best-reward record per distinct architecture, best first (the
@@ -150,9 +184,10 @@ class SearchResult:
         best_by_arch: dict[tuple, RewardRecord] = {}
         for rec in self.records:
             cur = best_by_arch.get(rec.arch.key)
-            if cur is None or rec.reward > cur.reward:
+            if cur is None or self._rank_key(rec) > self._rank_key(cur):
                 best_by_arch[rec.arch.key] = rec
-        ranked = sorted(best_by_arch.values(), key=lambda r: -r.reward)
+        ranked = sorted(best_by_arch.values(),
+                        key=lambda r: -self._rank_key(r))
         return ranked[:k]
 
     def reward_trajectory(self) -> np.ndarray:
@@ -160,7 +195,8 @@ class SearchResult:
         out = np.zeros((len(self.records), 2))
         best = -np.inf
         for i, rec in enumerate(sorted(self.records, key=lambda r: r.time)):
-            best = max(best, rec.reward)
+            if not np.isnan(rec.reward):
+                best = max(best, rec.reward)
             out[i] = (rec.time / 60.0, best)
         return out
 

@@ -16,15 +16,25 @@ robustness invariants the fault layer promises:
 The fault-free row doubles as a canary: it must behave bit-identically
 to a search with no fault layer at all.
 
+A second profile (``--profile numeric``) exercises the *numerical*
+health layer (:mod:`repro.health`): NaN-poisoned gradients, exploding
+update directions, and corrupt exchange deltas are injected into a3c and
+a2c searches running under guard-mode ``recover``, and the harness
+checks that the search heals — at least one policy rollback and one
+agent resurrection occur, no agent is permanently lost below the restart
+cap, and the best discovered reward stays finite.
+
 Run via ``make chaos`` or::
 
     PYTHONPATH=src python -m repro.search.chaos --minutes 45
+    PYTHONPATH=src python -m repro.search.chaos --profile numeric
 """
 
 from __future__ import annotations
 
 import argparse
 
+from ..health import GuardConfig
 from ..hpc import NodeAllocation, TrainingCostModel
 from ..hpc.faults import FaultConfig
 from ..nas.spaces import combo_small
@@ -33,7 +43,8 @@ from ..rewards import SurrogateReward
 from .base import SearchConfig
 from .runner import NasSearch
 
-__all__ = ["fault_levels", "fault_matrix", "main"]
+__all__ = ["fault_levels", "fault_matrix", "check_rows",
+           "numeric_matrix", "check_numeric_rows", "main"]
 
 #: default chaos allocation: small enough to run in seconds, large
 #: enough that node failures hit busy pilots
@@ -130,6 +141,76 @@ def check_rows(rows: list[dict], tolerance: float = 0.05) -> list[str]:
     return problems
 
 
+def numeric_matrix(minutes: float = 40.0, seed: int = 1,
+                   methods: tuple[str, ...] = ("a3c", "a2c"),
+                   max_restarts: int = 3) -> list[dict]:
+    """Numerical-chaos profile: one row per PPO method.
+
+    Each run injects NaN gradients, exploding updates, and corrupt
+    exchange deltas while the health layer runs in ``recover`` mode —
+    rollback first, resurrection when the rollback budget is spent.
+    """
+    space = combo_small()
+    faults = FaultConfig(nan_grad_prob=0.05, exploding_loss_prob=0.02,
+                         corrupt_delta_prob=0.05, seed=seed + 2)
+    rows = []
+    for method in methods:
+        reward_model = SurrogateReward(
+            space, COMBO_PAPER_SHAPES, combo_head(),
+            TrainingCostModel.combo_paper(),
+            epochs=1, train_fraction=0.1, timeout=600.0,
+            log_params_opt=6.5, seed=7)
+        cfg = SearchConfig(
+            method=method, allocation=_ALLOCATION,
+            wall_time=minutes * 60.0, seed=seed,
+            faults=faults, guard=GuardConfig(mode="recover"),
+            max_restarts=max_restarts)
+        search = NasSearch(space, reward_model, cfg)
+        result = search.run()
+        best = (result.best().reward if result.records else float("nan"))
+        rows.append({
+            "level": f"numeric/{method}",
+            "evaluations": result.num_evaluations,
+            "best_reward": best,
+            "rollbacks": result.num_rollbacks,
+            "restarts": result.num_restarts,
+            "failed_agents": len(result.failed_agents),
+            "numeric_faults": (search.injector.num_numeric_faults
+                               if search.injector else 0),
+            "rejected_deltas": (search.ps.num_rejected_deltas
+                                if search.ps is not None
+                                and hasattr(search.ps,
+                                            "num_rejected_deltas") else 0),
+            "end_time": result.end_time,
+        })
+    return rows
+
+
+def check_numeric_rows(rows: list[dict]) -> list[str]:
+    """Health-layer invariants over the numeric profile; returns the
+    list of violations (empty = pass)."""
+    problems = []
+    for row in rows:
+        level = row["level"]
+        if row["evaluations"] == 0:
+            problems.append(f"{level}: produced no evaluations")
+        best = row["best_reward"]
+        if not (best == best and abs(best) != float("inf")):
+            problems.append(f"{level}: best reward not finite ({best!r})")
+        if row["numeric_faults"] == 0:
+            problems.append(f"{level}: no numeric faults fired — the "
+                            f"profile tested nothing")
+        if row["rollbacks"] == 0:
+            problems.append(f"{level}: guards never rolled a policy back")
+        if row["restarts"] == 0:
+            problems.append(f"{level}: no agent was resurrected")
+        if row["failed_agents"]:
+            problems.append(
+                f"{level}: {row['failed_agents']} agent(s) permanently "
+                f"lost below the restart cap")
+    return problems
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-chaos",
@@ -142,24 +223,44 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--tolerance", type=float, default=0.05,
                         help="allowed best-reward degradation vs "
                              "fault-free, as a fraction (default 0.05)")
+    parser.add_argument("--profile", default="faults",
+                        choices=("faults", "numeric", "all"),
+                        help="faults = infrastructure fault matrix; "
+                             "numeric = numerical health-layer chaos; "
+                             "all = both (default faults)")
     args = parser.parse_args(argv)
 
-    rows = fault_matrix(minutes=args.minutes, seed=args.seed,
-                        method=args.method)
-    header = (f"{'level':10s} {'evals':>6s} {'best':>8s} {'failed':>7s} "
-              f"{'lost':>5s} {'nodefail':>8s} {'restarts':>8s} {'util':>6s}")
-    print(header)
-    for row in rows:
-        print(f"{row['level']:10s} {row['evaluations']:6d} "
-              f"{row['best_reward']:8.4f} {row['failed_evals']:7d} "
-              f"{row['failed_agents']:5d} {row['node_failures']:8d} "
-              f"{row['job_restarts']:8d} {row['mean_utilization']:6.3f}")
+    problems: list[str] = []
+    if args.profile in ("faults", "all"):
+        rows = fault_matrix(minutes=args.minutes, seed=args.seed,
+                            method=args.method)
+        header = (f"{'level':12s} {'evals':>6s} {'best':>8s} "
+                  f"{'failed':>7s} {'lost':>5s} {'nodefail':>8s} "
+                  f"{'restarts':>8s} {'util':>6s}")
+        print(header)
+        for row in rows:
+            print(f"{row['level']:12s} {row['evaluations']:6d} "
+                  f"{row['best_reward']:8.4f} {row['failed_evals']:7d} "
+                  f"{row['failed_agents']:5d} {row['node_failures']:8d} "
+                  f"{row['job_restarts']:8d} "
+                  f"{row['mean_utilization']:6.3f}")
+        problems += check_rows(rows, tolerance=args.tolerance)
 
-    problems = check_rows(rows, tolerance=args.tolerance)
+    if args.profile in ("numeric", "all"):
+        rows = numeric_matrix(minutes=args.minutes, seed=args.seed)
+        print(f"{'level':12s} {'evals':>6s} {'best':>8s} {'faults':>7s} "
+              f"{'rollbk':>6s} {'resur':>6s} {'reject':>6s} {'lost':>5s}")
+        for row in rows:
+            print(f"{row['level']:12s} {row['evaluations']:6d} "
+                  f"{row['best_reward']:8.4f} {row['numeric_faults']:7d} "
+                  f"{row['rollbacks']:6d} {row['restarts']:6d} "
+                  f"{row['rejected_deltas']:6d} {row['failed_agents']:5d}")
+        problems += check_numeric_rows(rows)
+
     for problem in problems:
         print(f"chaos: FAIL — {problem}")
     if not problems:
-        print("chaos: all fault levels within tolerance")
+        print("chaos: all profiles within tolerance")
     return 1 if problems else 0
 
 

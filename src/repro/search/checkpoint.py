@@ -72,6 +72,11 @@ class AgentBoundary:
     #: :mod:`repro.verify.fingerprint`); "" on checkpoints written
     #: before digests existed (resume falls back to the genesis digest)
     traj_digest: str = ""
+    #: optimizer learning rate at the boundary — only recorded (and
+    #: serialized) under guard-mode "recover", where rollbacks back the
+    #: rate off from its configured value; None otherwise, keeping the
+    #: guard-off checkpoint schema unchanged
+    lr: float | None = None
 
 
 @dataclass
@@ -103,10 +108,16 @@ class SearchCheckpoint:
     ps_state: dict | None = None
     converged_agents: int = 0
     failed_agents: list = field(default_factory=list)
+    #: health-layer counters (repro.health): per-agent resurrection and
+    #: rollback counts at capture time.  Both empty when the health
+    #: layer is off, in which case they are not serialized at all —
+    #: the v1 guard-off schema is pinned by the golden checkpoint test.
+    agent_restarts: dict = field(default_factory=dict)
+    agent_rollbacks: dict = field(default_factory=dict)
 
     # -- persistence ----------------------------------------------------
     def to_json(self) -> dict:
-        return {
+        data = {
             "version": FORMAT_VERSION,
             "time": self.time,
             "seed": self.seed,
@@ -120,12 +131,21 @@ class SearchCheckpoint:
             "records": [_record_to_json(r) for r in self.records],
             "agents": [_agent_to_json(a) for a in self.agents],
         }
+        if self.agent_restarts or self.agent_rollbacks:
+            data["health"] = {
+                "agent_restarts": {str(k): int(v) for k, v
+                                   in self.agent_restarts.items()},
+                "agent_rollbacks": {str(k): int(v) for k, v
+                                    in self.agent_rollbacks.items()},
+            }
+        return data
 
     @classmethod
     def from_json(cls, data: dict) -> "SearchCheckpoint":
         if data.get("version") != FORMAT_VERSION:
             raise ValueError(
                 f"unsupported checkpoint version {data.get('version')!r}")
+        health = data.get("health", {})
         return cls(
             time=float(data["time"]),
             seed=int(data["seed"]),
@@ -138,6 +158,10 @@ class SearchCheckpoint:
             ps_state=data["ps_state"],
             converged_agents=int(data["converged_agents"]),
             failed_agents=[tuple(fa) for fa in data["failed_agents"]],
+            agent_restarts={int(k): int(v) for k, v in
+                            health.get("agent_restarts", {}).items()},
+            agent_rollbacks={int(k): int(v) for k, v in
+                             health.get("agent_rollbacks", {}).items()},
         )
 
     def save(self, path: str | Path) -> Path:
@@ -211,6 +235,8 @@ def _agent_to_json(agent: AgentCheckpoint) -> dict:
         "done": agent.done,
         "converged": agent.converged,
         "boundary": None if b is None else {
+            # recover-mode only; absent keeps the guard-off v1 schema
+            **({} if b.lr is None else {"lr": b.lr}),
             "time": b.time,
             "iteration": b.iteration,
             "rng_state": _jsonable(b.rng_state),
@@ -253,7 +279,8 @@ def _agent_from_json(data: dict) -> AgentCheckpoint:
         num_submitted=int(b["num_submitted"]),
         num_cache_hits=int(b["num_cache_hits"]),
         num_failed=int(b["num_failed"]),
-        traj_digest=str(b.get("traj_digest", "")))
+        traj_digest=str(b.get("traj_digest", "")),
+        lr=(None if b.get("lr") is None else float(b["lr"])))
     cache = [(_key_from_json(key), _result_from_json(res))
              for key, res in data["cache"]]
     return AgentCheckpoint(agent_id=int(data["agent_id"]),

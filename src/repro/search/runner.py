@@ -39,6 +39,8 @@ import copy
 import numpy as np
 
 from ..evaluator.balsam import BalsamEvaluator, BalsamService
+from ..health.guards import NumericalAnomaly
+from ..health.recovery import AgentHealth, DeltaSanitizer
 from ..hpc.cluster import Cluster
 from ..hpc.faults import FaultInjector
 from ..hpc.sim import Interrupt, Simulator, Timeout
@@ -95,15 +97,27 @@ class NasSearch:
         self._ckpt_proc = None
         #: checkpoints captured during run() (newest last)
         self.checkpoints: list[SearchCheckpoint] = []
+        #: health-layer bookkeeping: per-agent resurrections and
+        #: policy rollbacks (repro.health; stays empty with guards off)
+        self._restarts: dict[int, int] = {}
+        self._rollbacks: dict[int, int] = {}
+
+        guard = cfg.guard
+        guarded = guard is not None and guard.enabled
+        sanitizer = DeltaSanitizer.from_guard(guard) if guarded else None
+        max_age = guard.max_delta_age if guarded else None
 
         n = alloc.num_agents
         dims = space.action_dims
         if cfg.method == "a2c":
             self.ps: ParameterServer | ShardedParameterServer | None = \
                 ParameterServer(self.sim, n, mode="sync",
-                                staleness_window=cfg.staleness_window)
+                                staleness_window=cfg.staleness_window,
+                                sanitizer=sanitizer)
         elif cfg.method == "a3c":
             if cfg.ps_shards > 1:
+                # shards screen their own slices; whole-vector delta
+                # hygiene is only wired for the unsharded servers
                 probe = LSTMPolicy(dims, hidden=cfg.hidden,
                                    embed_dim=cfg.embed_dim, seed=0)
                 self.ps = ShardedParameterServer(
@@ -115,7 +129,8 @@ class NasSearch:
                 self.ps = ParameterServer(
                     self.sim, n, mode="async",
                     staleness_window=cfg.staleness_window,
-                    service_time=cfg.ps_service_time)
+                    service_time=cfg.ps_service_time,
+                    sanitizer=sanitizer, max_delta_age=max_age)
         else:
             self.ps = None
 
@@ -173,22 +188,44 @@ class NasSearch:
                             failed_agents=list(self._failed_agents),
                             num_failed_evals=sum(ev.num_failed
                                                  for ev in self.evaluators),
-                            agent_digests=dict(self._digests))
+                            agent_digests=dict(self._digests),
+                            agent_restarts=dict(self._restarts),
+                            agent_rollbacks=dict(self._rollbacks))
 
     # ------------------------------------------------------------------
     def _agent(self, agent_id: int):
         """Crash-safe wrapper: whatever happens inside the agent body,
         the agent deregisters from the parameter server (the sync
         barrier shrinks instead of deadlocking) and the search accounts
-        for it."""
+        for it.
+
+        With ``max_restarts > 0`` a crashed agent (including one whose
+        numerical guard escalated) is *resurrected*: restored to its
+        last iteration boundary — the same mechanics checkpoint resume
+        uses, applied in-run — and re-registered with the parameter
+        server.  Interrupts (external cancellation) never resurrect.
+        """
+        cfg = self.config
         converged = False
-        crashed = None
-        try:
-            converged = yield from self._agent_body(agent_id)
-        except Interrupt as intr:
-            crashed = f"interrupted: {intr.cause}"
-        except Exception as exc:        # noqa: BLE001 — surfaced in result
-            crashed = f"{type(exc).__name__}: {exc}"
+        restarts_left = cfg.max_restarts
+        while True:
+            crashed = None
+            try:
+                converged = yield from self._agent_body(agent_id)
+            except Interrupt as intr:
+                crashed = f"interrupted: {intr.cause}"
+                break
+            except Exception as exc:    # noqa: BLE001 — surfaced in result
+                crashed = f"{type(exc).__name__}: {exc}"
+            if crashed is None:
+                break
+            boundary = self._boundaries.get(agent_id)
+            if restarts_left <= 0 or boundary is None \
+                    or self.sim.now >= cfg.wall_time:
+                break
+            restarts_left -= 1
+            self._restarts[agent_id] = self._restarts.get(agent_id, 0) + 1
+            self._resurrect(agent_id, boundary)
         if crashed is not None:
             self._failed_agents.append((agent_id, crashed))
         self._done_agents[agent_id] = bool(converged)
@@ -205,6 +242,47 @@ class NasSearch:
             if self.injector is not None:
                 self.injector.stop()
 
+    def _resurrect(self, agent_id: int, boundary: AgentBoundary) -> None:
+        """Restore a crashed agent to its last iteration boundary.
+
+        The crashed lifetime leaves the parameter-server barrier first
+        (``deregister(failed=True)`` — exactly what a permanent death
+        does, so a mid-round crash can never deadlock the others), then
+        the fresh lifetime re-registers; ``register`` withdraws any
+        pending push the dead lifetime left in the current sync round,
+        and never releases a round itself, so the crash/resurrect pair
+        cannot double-release a barrier.
+        """
+        if self.ps is not None:
+            self.ps.deregister(failed=True)
+        # drop records the crashed lifetime appended past the boundary;
+        # the replay re-records them (same trimming checkpoint resume
+        # applies)
+        budget = boundary.num_records
+        kept = []
+        for rec in self.records:
+            if rec.agent_id == agent_id:
+                if budget <= 0:
+                    continue
+                budget -= 1
+            kept.append(rec)
+        self.records = kept
+        ev = self.evaluators[agent_id]
+        ev.num_submitted = boundary.num_submitted
+        ev.num_cache_hits = boundary.num_cache_hits
+        ev.num_failed = boundary.num_failed
+        policy = self.policies[agent_id]
+        if policy is not None and boundary.policy_flat is not None:
+            policy.set_flat(np.asarray(boundary.policy_flat))
+        updater = self.updaters[agent_id]
+        if updater is not None and boundary.opt_state is not None:
+            updater.optimizer.restore_state(boundary.opt_state)
+        if updater is not None and boundary.lr is not None:
+            updater.optimizer.lr = boundary.lr
+        self._resume[agent_id] = boundary
+        if self.ps is not None:
+            self.ps.register(agent_id)
+
     def _agent_body(self, agent_id: int):
         cfg = self.config
         sim = self.sim
@@ -214,12 +292,22 @@ class NasSearch:
         batch = cfg.allocation.workers_per_agent
         dims = np.array(self.space.action_dims)
         converged = False
-        capture = cfg.checkpoint_interval is not None
+        # iteration boundaries feed both checkpointing and in-run
+        # resurrection; either feature being on captures them
+        capture = cfg.checkpoint_interval is not None \
+            or cfg.max_restarts > 0
+        guard = cfg.guard
+        health = (AgentHealth(guard, base_lr=cfg.lr)
+                  if updater is not None and guard is not None
+                  and guard.enabled else None)
 
         resume = self._resume.pop(agent_id, None)
         if resume is not None:
             # restart at the recorded iteration boundary: restored RNG
-            # and policy re-generate the in-flight batch exactly
+            # and policy re-generate the in-flight batch exactly.  For
+            # checkpoint resume sim.now is 0 and this sleeps to the
+            # boundary time; for in-run resurrection the boundary is in
+            # the past and the agent restarts immediately.
             rng = np.random.default_rng(0)
             rng.bit_generator.state = copy.deepcopy(resume.rng_state)
             consecutive_cached = resume.consecutive_cached
@@ -227,7 +315,7 @@ class NasSearch:
             my_records = resume.num_records
             digest = resume.traj_digest or agent_genesis(cfg.seed, agent_id)
             self._digests[agent_id] = digest
-            yield Timeout(resume.time)
+            yield Timeout(max(0.0, resume.time - sim.now))
         else:
             rng = np.random.default_rng((cfg.seed, agent_id, 0xA6E))
             consecutive_cached = 0
@@ -255,7 +343,10 @@ class NasSearch:
                     num_submitted=evaluator.num_submitted,
                     num_cache_hits=evaluator.num_cache_hits,
                     num_failed=evaluator.num_failed,
-                    traj_digest=digest)
+                    traj_digest=digest,
+                    lr=(updater.optimizer.lr
+                        if updater is not None and guard is not None
+                        and guard.recovers else None))
             if policy is None:  # RDM
                 actions = rng.integers(0, dims, size=(batch, len(dims)))
                 rollout = None
@@ -283,13 +374,40 @@ class NasSearch:
                 my_records += 1
 
             if updater is not None:
-                delta, _ = updater.update_delta(rollout, rewards)
+                if health is not None:
+                    # pre-update state is last-known-good: a poisoned
+                    # update is undone exactly by restoring it
+                    health.snapshot(iteration, policy.get_flat(),
+                                    updater.optimizer.export_state())
+                delta, stats = updater.update_delta(rollout, rewards)
+                delta, push_delta = self._inject_numeric(
+                    agent_id, iteration, policy, delta)
+                if health is not None:
+                    anomaly = health.check_update(policy.get_flat(),
+                                                  delta, stats)
+                    if anomaly is not None:
+                        if not guard.recovers:
+                            # check mode: crash the agent; the wrapper
+                            # resurrects it (or reports it) from there
+                            raise NumericalAnomaly(
+                                anomaly, f"agent{agent_id}",
+                                "numerical guard tripped (mode=check)")
+                        # recover mode: roll back to the last good
+                        # snapshot with LR backoff (escalates to a crash
+                        # once the lifetime rollback budget is spent)
+                        health.rollback(policy, updater.optimizer)
+                        self._rollbacks[agent_id] = \
+                            self._rollbacks.get(agent_id, 0) + 1
+                        # the poisoned local step is undone; contribute
+                        # nothing to the exchange this iteration
+                        delta = np.zeros_like(delta)
+                        push_delta = delta
                 if self.ps.mode == "sync":
-                    avg = yield self.ps.push_sync(delta, agent_id)
+                    avg = yield self.ps.push_sync(push_delta, agent_id)
                 elif cfg.ps_service_time > 0.0:
-                    avg = yield self.ps.push_async_timed(delta)
+                    avg = yield self.ps.push_async_timed(push_delta)
                 else:
-                    avg = self.ps.push_async(delta)
+                    avg = self.ps.push_async(push_delta)
                 # update_delta already applied the local delta; replace it
                 # with the parameter server's average
                 policy.add_flat(avg - delta)
@@ -311,6 +429,45 @@ class NasSearch:
                 break
 
         return converged
+
+    def _inject_numeric(self, agent_id: int, iteration: int, policy,
+                        delta: np.ndarray
+                        ) -> tuple[np.ndarray, np.ndarray]:
+        """Apply this iteration's numerical fault draw, if any.
+
+        Returns ``(local_delta, push_delta)``: the delta as the agent's
+        own policy experienced it, and the (possibly separately
+        corrupted) copy sent to the parameter server.  With numerical
+        faults disabled both are the incoming delta, untouched.
+        """
+        if self.injector is None:
+            return delta, delta
+        fault = self.injector.numeric_fault(
+            agent_id, iteration, self._restarts.get(agent_id, 0))
+        if fault is None or fault.none:
+            return delta, delta
+        self.injector.num_numeric_faults += 1
+        if fault.nan_grad:
+            # a corrupted gradient buffer: the local update (already
+            # applied by update_delta) and its delta both carry NaN
+            poison = np.zeros_like(delta)
+            poison[0] = np.nan
+            policy.add_flat(poison)
+            delta = delta.copy()
+            delta[0] = np.nan
+            return delta, delta
+        if fault.exploding_loss:
+            # a diverged local policy: the update direction is real but
+            # enormously overscaled
+            factor = self.injector.config.exploding_factor
+            policy.add_flat(delta * (factor - 1.0))
+            delta = delta * factor
+            return delta, delta
+        # corrupt_delta: corruption in flight — the local policy stays
+        # healthy, only the copy pushed to the parameter server is bad
+        push_delta = delta.copy()
+        push_delta[0] = np.nan
+        return delta, push_delta
 
     # -- checkpointing --------------------------------------------------
     def _checkpoint_clock(self):
@@ -359,7 +516,9 @@ class NasSearch:
             wall_time=cfg.wall_time,
             records=list(self.records), agents=agents, ps_state=ps_state,
             converged_agents=self._converged_agents,
-            failed_agents=list(self._failed_agents))
+            failed_agents=list(self._failed_agents),
+            agent_restarts=dict(self._restarts),
+            agent_rollbacks=dict(self._rollbacks))
         self.checkpoints.append(ckpt)
         if cfg.checkpoint_path is not None:
             ckpt.save(cfg.checkpoint_path)
@@ -397,6 +556,8 @@ class NasSearch:
             self.records.append(rec)
         self._converged_agents = ckpt.converged_agents
         self._failed_agents = [tuple(fa) for fa in ckpt.failed_agents]
+        self._restarts = dict(ckpt.agent_restarts)
+        self._rollbacks = dict(ckpt.agent_rollbacks)
         for agent in ckpt.agents:
             ev = self.evaluators[agent.agent_id]
             if ev.cache is not None and agent.cache_entries:
@@ -419,6 +580,8 @@ class NasSearch:
             updater = self.updaters[agent.agent_id]
             if updater is not None and boundary.opt_state is not None:
                 updater.optimizer.restore_state(boundary.opt_state)
+            if updater is not None and boundary.lr is not None:
+                updater.optimizer.lr = boundary.lr
         if ckpt.ps_state is not None and isinstance(self.ps,
                                                     ParameterServer):
             self.ps.restore_state(ckpt.ps_state)

@@ -89,6 +89,33 @@ class TestTopK:
         assert evaluations_per_agent(records) == {0: 2, 1: 1}
 
 
+class TestTopKNaN:
+    """NaN propagation ordering: a NaN reward that reaches the records
+    (guards off) must rank strictly below every finite reward and must
+    never squat in a dedup slot over a finite observation."""
+
+    def test_nan_never_ranks_above_finite(self):
+        records = [R(1, float("nan"), arch_id=1), R(2, 0.2, arch_id=2),
+                   R(3, -5.0, arch_id=3)]
+        top = top_k_architectures(records, k=5)
+        assert [r.reward for r in top[:2]] == [0.2, -5.0]
+        assert np.isnan(top[2].reward)
+
+    def test_finite_displaces_earlier_nan_for_same_arch(self):
+        records = [R(1, float("nan"), arch_id=1), R(2, 0.3, arch_id=1)]
+        top = top_k_architectures(records, k=5)
+        assert len(top) == 1 and top[0].reward == 0.3
+
+    def test_nan_cannot_displace_finite_for_same_arch(self):
+        records = [R(1, 0.3, arch_id=1), R(2, float("nan"), arch_id=1)]
+        top = top_k_architectures(records, k=5)
+        assert len(top) == 1 and top[0].reward == 0.3
+
+    def test_all_nan_still_returns_k(self):
+        records = [R(t, float("nan"), arch_id=t) for t in range(1, 4)]
+        assert len(top_k_architectures(records, k=2)) == 2
+
+
 class TestQuantiles:
     def test_bands_shape_and_order(self):
         reps = []

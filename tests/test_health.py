@@ -1,0 +1,383 @@
+"""Unit tests for the numerical health layer (repro.health)."""
+
+import numpy as np
+import pytest
+
+from repro.health import (AgentHealth, DeltaSanitizer, GuardConfig,
+                          LossSpikeDetector, NumericalAnomaly,
+                          PPODivergenceDetector, SnapshotRing, all_finite,
+                          require_finite)
+from repro.nn import Dense, GraphModel
+from repro.nn.training import Trainer
+from repro.rl.ppo import PPOStats
+
+
+def stats(policy_loss=0.1, value_loss=0.2, approx_kl=0.01, max_ratio=1.2):
+    return PPOStats(policy_loss, value_loss, entropy=1.0, clip_fraction=0.1,
+                    grad_norm=0.5, approx_kl=approx_kl, max_ratio=max_ratio)
+
+
+class TestGuardConfig:
+    def test_default_off_and_inert(self):
+        cfg = GuardConfig()
+        assert cfg.mode == "off"
+        assert not cfg.enabled and not cfg.recovers
+
+    def test_modes(self):
+        assert GuardConfig(mode="check").enabled
+        assert not GuardConfig(mode="check").recovers
+        assert GuardConfig(mode="recover").recovers
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(mode="maybe"),
+        dict(loss_spike_zscore=0.0),
+        dict(loss_ewma_alpha=0.0),
+        dict(kl_limit=-1.0),
+        dict(ratio_limit=1.0),
+        dict(delta_norm_factor=1.0),
+        dict(max_delta_age=0.0),
+        dict(snapshot_ring=0),
+        dict(lr_backoff=1.0),
+        dict(min_lr_fraction=0.0),
+        dict(escalate_after=0),
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            GuardConfig(**kwargs)
+
+
+class TestFiniteChecks:
+    def test_all_finite(self):
+        assert all_finite(np.ones(10))
+        assert not all_finite(np.array([1.0, np.nan]))
+        assert not all_finite(np.array([[1.0], [np.inf]]))
+
+    def test_blockwise_scan_finds_early_poison(self):
+        arr = np.ones(1000)
+        arr[3] = np.nan
+        assert not all_finite(arr, block=16)
+
+    def test_require_finite_raises_with_kind(self):
+        with pytest.raises(NumericalAnomaly) as exc:
+            require_finite(np.array([np.nan]), "gradients")
+        assert exc.value.kind == "nonfinite"
+        assert exc.value.what == "gradients"
+
+
+class TestLossSpikeDetector:
+    def test_warmup_then_spike(self):
+        det = LossSpikeDetector(zscore=8.0, alpha=0.2, warmup=5)
+        for _ in range(6):
+            assert not det.observe(1.0)
+        assert det.observe(100.0)
+        assert det.num_spikes == 1
+        # the spike was excluded from the baseline: healthy follows
+        assert not det.observe(1.0)
+
+    def test_nonfinite_loss_always_flagged(self):
+        det = LossSpikeDetector(warmup=5)
+        assert det.observe(float("nan"))
+        assert det.observe(float("inf"))
+
+    def test_export_restore_round_trip(self):
+        det = LossSpikeDetector(warmup=2)
+        for v in (1.0, 1.1, 0.9, 1.05):
+            det.observe(v)
+        fresh = LossSpikeDetector(warmup=2)
+        fresh.restore_state(det.export_state())
+        assert fresh.count == det.count
+        assert fresh.mean == det.mean and fresh.var == det.var
+
+
+class TestPPODivergenceDetector:
+    def test_healthy_passes(self):
+        assert PPODivergenceDetector().check(stats()) is None
+
+    def test_kl_limit(self):
+        assert PPODivergenceDetector(kl_limit=0.5).check(
+            stats(approx_kl=0.9)) == "kl_divergence"
+
+    def test_ratio_limit(self):
+        assert PPODivergenceDetector(ratio_limit=10.0).check(
+            stats(max_ratio=11.0)) == "ratio_blowup"
+
+    def test_nonfinite_stat(self):
+        assert PPODivergenceDetector().check(
+            stats(policy_loss=float("nan"))) == "nonfinite"
+
+
+class TestSnapshotRing:
+    def test_bounded_latest(self):
+        ring = SnapshotRing(capacity=2)
+        for i in range(4):
+            ring.push(i, np.full(3, float(i)), None)
+        assert len(ring) == 2
+        it, vec, _ = ring.latest()
+        assert it == 3 and vec[0] == 3.0
+
+    def test_entries_are_copies(self):
+        ring = SnapshotRing()
+        src = np.zeros(3)
+        opt = {"t": 1, "m": np.zeros(3), "v": np.zeros(3)}
+        ring.push(0, src, opt)
+        src[:] = 9.0
+        opt["m"][:] = 9.0
+        _, vec, state = ring.latest()
+        assert vec[0] == 0.0 and state["m"][0] == 0.0
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            SnapshotRing(capacity=0)
+
+
+class TestDeltaSanitizer:
+    def test_accepts_and_warms_up(self):
+        san = DeltaSanitizer(warmup=3)
+        for _ in range(3):
+            assert san.check(np.ones(4)) is None
+        assert san.accepted == 3 and san.num_rejected == 0
+
+    def test_rejects_nonfinite(self):
+        san = DeltaSanitizer()
+        assert san.check(np.array([1.0, np.nan])) == "nonfinite"
+        assert san.num_rejected_nonfinite == 1
+
+    def test_rejects_norm_outlier_after_warmup(self):
+        san = DeltaSanitizer(norm_factor=10.0, warmup=3)
+        big = np.full(4, 1e6)
+        assert san.check(big) is None        # pre-warmup: accepted
+        for _ in range(3):
+            assert san.check(np.ones(4)) is None
+        # wait for the EWMA to settle near 1 before the outlier probe
+        for _ in range(20):
+            san.check(np.ones(4))
+        assert san.check(big) == "outlier"
+        assert san.num_rejected_outlier == 1
+        # rejection did not pollute the baseline
+        assert san.check(np.ones(4)) is None
+
+    def test_export_restore_round_trip(self):
+        san = DeltaSanitizer(warmup=2)
+        san.check(np.ones(4))
+        san.check(np.array([np.nan] * 4))
+        fresh = DeltaSanitizer(warmup=2)
+        fresh.restore_state(san.export_state())
+        assert fresh.accepted == 1
+        assert fresh.ewma_norm == san.ewma_norm
+        assert fresh.num_rejected_nonfinite == 1
+
+    @pytest.mark.parametrize("kwargs", [dict(norm_factor=1.0),
+                                        dict(warmup=0),
+                                        dict(ewma_alpha=1.5)])
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            DeltaSanitizer(**kwargs)
+
+
+class _Policy:
+    def __init__(self, vec):
+        self.vec = np.asarray(vec, dtype=np.float64).copy()
+
+    def get_flat(self):
+        return self.vec.copy()
+
+    def set_flat(self, values):
+        self.vec = np.asarray(values, dtype=np.float64).copy()
+
+
+class _Opt:
+    def __init__(self, lr=0.1):
+        self.lr = lr
+        self.t = 0
+        self.m = np.zeros(3)
+        self.v = np.zeros(3)
+
+    def export_state(self):
+        return {"t": self.t, "m": self.m.copy(), "v": self.v.copy()}
+
+    def restore_state(self, state):
+        self.t = int(state["t"])
+        self.m = np.asarray(state["m"]).copy()
+        self.v = np.asarray(state["v"]).copy()
+
+
+class TestAgentHealth:
+    def make(self, **overrides):
+        defaults = dict(mode="recover", escalate_after=3)
+        defaults.update(overrides)
+        return AgentHealth(GuardConfig(**defaults), base_lr=0.1)
+
+    def test_healthy_update_passes(self):
+        health = self.make()
+        assert health.check_update(np.ones(3), np.full(3, 0.01),
+                                   stats()) is None
+        assert health.last_anomaly is None
+
+    def test_nonfinite_delta_detected(self):
+        health = self.make()
+        assert health.check_update(np.ones(3), np.array([np.nan, 0, 0]),
+                                   stats()) == "nonfinite:delta"
+
+    def test_nonfinite_policy_detected(self):
+        health = self.make()
+        assert health.check_update(np.array([np.inf, 0, 0]),
+                                   np.full(3, 0.01),
+                                   stats()) == "nonfinite:policy"
+
+    def test_divergence_detected(self):
+        health = self.make(kl_limit=0.5)
+        assert health.check_update(np.ones(3), np.full(3, 0.01),
+                                   stats(approx_kl=0.9)) == "kl_divergence:ppo"
+
+    def test_rollback_restores_and_backs_off(self):
+        health = self.make()
+        policy, opt = _Policy([1.0, 2.0, 3.0]), _Opt(lr=0.1)
+        opt.t = 5
+        health.snapshot(0, policy.get_flat(), opt.export_state())
+        policy.set_flat([np.nan] * 3)
+        opt.t = 6
+        iteration, lr = health.rollback(policy, opt)
+        assert iteration == 0
+        np.testing.assert_array_equal(policy.vec, [1.0, 2.0, 3.0])
+        assert opt.t == 5
+        assert lr == pytest.approx(0.05)
+        assert health.num_rollbacks == 1
+
+    def test_lr_floor(self):
+        health = self.make(escalate_after=20, lr_backoff=0.5,
+                           min_lr_fraction=0.25)
+        policy, opt = _Policy([0.0]), _Opt(lr=0.1)
+        for _ in range(5):
+            health.snapshot(0, policy.get_flat(), opt.export_state())
+            health.rollback(policy, opt)
+        assert opt.lr == pytest.approx(0.1 * 0.25)
+
+    def test_escalates_after_budget(self):
+        health = self.make(escalate_after=2)
+        policy, opt = _Policy([0.0]), _Opt()
+        health.snapshot(0, policy.get_flat(), opt.export_state())
+        health.rollback(policy, opt)
+        health.snapshot(1, policy.get_flat(), opt.export_state())
+        with pytest.raises(NumericalAnomaly) as exc:
+            health.rollback(policy, opt)
+        assert exc.value.kind == "rollback_exhausted"
+
+    def test_rollback_without_snapshot_escalates(self):
+        with pytest.raises(NumericalAnomaly):
+            self.make().rollback(_Policy([0.0]), _Opt())
+
+
+def _dense_model(seed=0):
+    m = GraphModel()
+    m.add_input("x", (4,))
+    m.add("h", Dense(8, "relu"), ["x"])
+    m.add("y", Dense(1), ["h"])
+    m.set_output("y")
+    return m.build(np.random.default_rng(seed))
+
+
+def _data(n=48, seed=1):
+    rng = np.random.default_rng(seed)
+    x = {"x": rng.standard_normal((n, 4))}
+    y = rng.standard_normal((n, 1))
+    return x, y
+
+
+class TestExecutionPlanGuard:
+    def test_forward_nan_activation_raises_when_armed(self):
+        m = _dense_model()
+        m._plan.check_finite = True
+        with pytest.raises(NumericalAnomaly) as exc:
+            m.forward({"x": np.full((2, 4), np.nan)})
+        assert exc.value.what.startswith("activation:")
+
+    def test_forward_nan_silent_by_default(self):
+        m = _dense_model()
+        assert not m._plan.check_finite
+        out = m.forward({"x": np.full((2, 4), np.nan)})
+        assert np.isnan(out).all()
+
+    def test_backward_nan_grad_raises_when_armed(self):
+        m = _dense_model()
+        x, _ = _data(8)
+        m.forward(x, training=True)
+        m.zero_grad()
+        m._plan.check_finite = True
+        with pytest.raises(NumericalAnomaly) as exc:
+            m.backward(np.full((8, 1), np.nan))
+        assert exc.value.what.startswith("input_grad:")
+
+
+class TestTrainerGuard:
+    def test_nan_weights_surface_structured_outcome(self):
+        m = _dense_model()
+        m.parameters()[0].value[0, 0] = np.nan
+        x, y = _data()
+        hist = Trainer(epochs=2, batch_size=16,
+                       guard=GuardConfig(mode="check")).fit(m, x, y, x, y)
+        assert hist.nonfinite
+        assert hist.anomaly.startswith("nonfinite:")
+        # validation is skipped on an aborted run
+        assert np.isnan(hist.val_metric)
+
+    def test_unguarded_run_does_not_flag(self):
+        m = _dense_model()
+        m.parameters()[0].value[0, 0] = np.nan
+        x, y = _data()
+        hist = Trainer(epochs=1, batch_size=16).fit(m, x, y)
+        assert not hist.nonfinite and hist.anomaly is None
+
+    def test_guarded_healthy_run_bit_identical(self):
+        x, y = _data()
+        m_off, m_on = _dense_model(), _dense_model()
+        Trainer(epochs=3, batch_size=16).fit(m_off, x, y)
+        hist = Trainer(epochs=3, batch_size=16,
+                       guard=GuardConfig(mode="check")).fit(m_on, x, y)
+        assert not hist.nonfinite
+        for a, b in zip(m_off.parameters(), m_on.parameters()):
+            np.testing.assert_array_equal(a.value, b.value)
+
+    def test_check_finite_restored_after_fit(self):
+        m = _dense_model()
+        x, y = _data()
+        Trainer(epochs=1, batch_size=16,
+                guard=GuardConfig(mode="check")).fit(m, x, y)
+        assert not m._plan.check_finite
+
+
+class TestTrainingRewardNonfinite:
+    def make_problem(self):
+        from repro.problems import combo_problem
+
+        return combo_problem(n_train=64, n_val=32, cell_dim=8, drug_dim=10,
+                             scale=0.02)
+
+    def test_nonfinite_maps_to_failure_reward(self):
+        from repro.rewards import TrainingReward
+
+        problem = self.make_problem()
+        # poison the dataset: every architecture trains straight into NaN
+        for arr in problem.dataset.x_train.values():
+            arr[0, ...] = np.nan
+        reward = TrainingReward(problem, epochs=1,
+                                guard=GuardConfig(mode="check"))
+        arch = problem.space.random_architecture(np.random.default_rng(0))
+        res = reward.evaluate(arch)
+        assert res.nonfinite
+        assert res.reward == reward.FAILURE_REWARD
+        assert reward.num_nonfinite == 1
+
+    def test_unguarded_failure_not_counted_as_nonfinite(self):
+        from repro.rewards import TrainingReward
+
+        problem = self.make_problem()
+        for arr in problem.dataset.x_train.values():
+            arr[0, ...] = np.nan
+        reward = TrainingReward(problem, epochs=1)
+        arch = problem.space.random_architecture(np.random.default_rng(0))
+        res = reward.evaluate(arch)
+        # NaN leaks to the metric and is floored to the failure reward,
+        # but it is not the structured guard outcome
+        assert res.reward == reward.FAILURE_REWARD
+        assert not res.nonfinite
+        assert reward.num_nonfinite == 0

@@ -179,6 +179,78 @@ class TestBarrierSafety:
         assert got == [6.0]
 
 
+class TestResurrectionBarrier:
+    """Regression: a crash (``deregister(failed=True)``) during a sync
+    barrier followed by a resurrection (``register(agent_id)``) must
+    never double-release a round (events fire at most once; a second
+    release of the same waiters would crash the kernel)."""
+
+    def test_register_withdraws_stale_push(self):
+        sim = Simulator()
+        ps = ParameterServer(sim, num_agents=3, mode="sync", latency=0.0)
+        # the doomed agent pushed, then crashed while parked: its waiter
+        # is abandoned and its push is stale
+        ps.push_sync(np.array([100.0]), agent_id=0)
+        ps.deregister(failed=True)       # 1 pending < 2 active: no release
+        assert ps.num_rounds == 0
+        ps.register(agent_id=0)          # resurrection withdraws the push
+        assert ps._pending == [] and ps._waiters == []
+
+        got = []
+
+        def agent(value, agent_id):
+            avg = yield ps.push_sync(np.array([value]), agent_id=agent_id)
+            got.append(float(avg[0]))
+
+        for aid, v in enumerate((3.0, 6.0, 9.0)):
+            sim.process(agent(v, aid))
+        sim.run(until=100.0)
+        # the replayed push is averaged, the stale 100.0 is not
+        assert got == [6.0, 6.0, 6.0]
+        assert ps.num_rounds == 1
+        assert ps.num_resurrections == 1
+
+    def test_crash_release_then_register_cannot_release_again(self):
+        sim = Simulator()
+        ps = ParameterServer(sim, num_agents=3, mode="sync", latency=0.0)
+        got = []
+
+        def agent(value, agent_id, rounds=1):
+            for i in range(rounds):
+                avg = yield ps.push_sync(np.array([value + i]),
+                                         agent_id=agent_id)
+                got.append(float(avg[0]))
+                yield Timeout(5.0)   # next round starts after the rebirth
+
+        sim.process(agent(1.0, 0, rounds=2))
+        sim.process(agent(3.0, 1, rounds=2))
+
+        def crash_and_resurrect():
+            # agent 2 dies before pushing: deregister shrinks the
+            # barrier to 2 and releases the round (1, 3) -> 2.0 ...
+            yield Timeout(1.0)
+            ps.deregister(failed=True)
+            yield Timeout(1.0)
+            # ... and the resurrection must not release anything itself
+            rounds_before = ps.num_rounds
+            ps.register(agent_id=2)
+            assert ps.num_rounds == rounds_before
+            avg = yield ps.push_sync(np.array([8.0]), agent_id=2)
+            got.append(float(avg[0]))
+
+        sim.process(crash_and_resurrect())
+        sim.run(until=100.0)
+        # round 1: (1+3)/2 = 2; round 2: (2+4+8)/3 with all three back
+        assert got.count(2.0) == 2
+        assert got.count(14.0 / 3.0) == 3
+        assert ps.num_rounds == 2
+
+    def test_over_register_rejected(self):
+        ps = ParameterServer(Simulator(), num_agents=2, mode="sync")
+        with pytest.raises(RuntimeError):
+            ps.register()
+
+
 class TestExportRestore:
     def test_async_round_trip(self):
         ps = ParameterServer(Simulator(), num_agents=4, mode="async",
