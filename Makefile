@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-fast smoke chaos verify bench bench-quick
+.PHONY: test test-fast lint smoke chaos verify bench bench-quick
 
 ## full tier-1 test suite
 test:
@@ -21,8 +21,21 @@ verify:
 	$(PYTHON) -m pytest -q -m verify
 	$(PYTHON) -m repro.verify all --output VERIFY_report.json
 
-## substrate smoke check: core NN/RL tests + one quick benchmark pass
-smoke:
+## static hygiene: import-cycle check over src/repro (stdlib, always
+## runs), byte-compile sanity, and ruff (skipped with a notice when the
+## environment doesn't ship it — config lives in pyproject.toml)
+lint:
+	$(PYTHON) tools/check_imports.py
+	$(PYTHON) -m compileall -q src tools
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check src tools; \
+	else \
+		echo "lint: ruff not installed; skipped (cycle + compile checks ran)"; \
+	fi
+
+## substrate smoke check: lint gate + core NN/RL tests + one quick
+## benchmark pass
+smoke: lint
 	$(PYTHON) -m repro.perf --help >/dev/null  # import sanity
 	$(PYTHON) -c "import sys; from repro.perf import smoke; sys.exit(smoke([]))"
 

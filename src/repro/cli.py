@@ -21,6 +21,7 @@ Commands
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 import numpy as np
@@ -37,8 +38,9 @@ from .problems import get_problem
 from .problems.combo import COMBO_PAPER_SHAPES, combo_head
 from .problems.nt3 import NT3_PAPER_SHAPES, nt3_head
 from .problems.uno import UNO_PAPER_SHAPES, uno_head
+from .events import RecordingSink
 from .rewards import SurrogateReward
-from .search import SearchConfig, run_search
+from .search import NasSearch, SearchConfig
 
 __all__ = ["main"]
 
@@ -90,7 +92,13 @@ def _cmd_search(args) -> int:
     print(f"running {args.method} on {space.name} "
           f"({alloc.num_agents} agents x {alloc.workers_per_agent} "
           f"workers, {args.minutes:.0f} simulated min) ...")
-    result = run_search(space, reward, cfg)
+    sink = RecordingSink() if getattr(args, "events", None) else None
+    result = NasSearch(space, reward, cfg, event_sink=sink).run()
+    if sink is not None:
+        with open(args.events, "w") as fh:
+            for event in sink.events:
+                fh.write(json.dumps(event.to_dict()) + "\n")
+        print(f"{len(sink.events)} events written to {args.events}")
     print(f"evaluations: {result.num_evaluations} "
           f"({result.unique_architectures} unique); "
           f"best reward: {result.best().reward:.3f}; "
@@ -251,6 +259,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--landscape-seed", type=int, default=7,
                    help="seed of the surrogate reward landscape")
     p.add_argument("--output", help="write a JSON-lines log here")
+    p.add_argument("--events",
+                   help="write the structured search-event stream "
+                        "(repro.events) as JSON lines here")
     p.add_argument("--guard-mode", choices=("off", "check", "recover"),
                    default="off",
                    help="numerical health guards (repro.health): check "

@@ -31,13 +31,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..events import EventSink
 from ..hpc.cluster import Cluster
 from ..hpc.faults import FaultInjector
 from ..hpc.sim import AllOf, Event, Interrupt, Process, Simulator, Timeout
 from ..nas.arch import Architecture
 from ..rewards.base import EvalResult, RewardModel
-from .base import EvalRecord, Evaluator
-from .cache import EvalCache
+from .broker import EvalBroker, RewardModelBackend
 
 __all__ = ["BalsamJob", "BalsamService", "BalsamEvaluator"]
 
@@ -199,7 +199,7 @@ class BalsamService:
         return sum(j.num_retries for j in self.jobs)
 
 
-class BalsamEvaluator(Evaluator):
+class BalsamEvaluator(EvalBroker):
     """Per-agent evaluator backed by the shared Balsam service.
 
     ``add_eval_batch`` returns an event that fires when the whole batch
@@ -211,36 +211,37 @@ class BalsamEvaluator(Evaluator):
     (``RUN_TIMEOUT``) and surfaced with ``FAILURE_REWARD``, so a lost
     job can never hang the agent.  ``None`` (default) waits forever,
     which is safe whenever a fault-free service is used.
+
+    All cache / counter / failure bookkeeping lives in
+    :class:`~repro.evaluator.broker.EvalBroker` (with the simulator as
+    its clock); this class only owns job submission and the
+    finisher/watchdog processes.
     """
 
     def __init__(self, service: BalsamService, reward_model: RewardModel,
                  agent_id: int, use_cache: bool = True,
-                 batch_deadline: float | None = None) -> None:
-        super().__init__(agent_id)
+                 batch_deadline: float | None = None,
+                 sink: EventSink | None = None) -> None:
+        super().__init__(agent_id=agent_id, use_cache=use_cache,
+                         clock=lambda: service.sim.now, sink=sink)
         if batch_deadline is not None and batch_deadline <= 0:
             raise ValueError("batch_deadline must be positive")
         self.service = service
         self.reward_model = reward_model
-        self.cache = EvalCache() if use_cache else None
+        self.backend = RewardModelBackend(reward_model, agent_id)
         self.batch_deadline = batch_deadline
-        self._finished: list[EvalRecord] = []
-        self.last_batch_all_cached = False
 
     def add_eval_batch(self, archs: list[Architecture]) -> Event:
         sim = self.service.sim
+        self._begin_batch(archs)
         jobs: list[BalsamJob] = []
         all_cached = True
         for arch in archs:
             self.num_submitted += 1
-            cached = self.cache.get(arch) if self.cache is not None else None
-            if cached is not None:
-                self.num_cache_hits += 1
-                self._finished.append(EvalRecord(
-                    arch, cached, self.agent_id, sim.now, sim.now, sim.now,
-                    cached=True))
+            if self._cache_hit(arch, sim.now):
                 continue
             all_cached = False
-            result = self.reward_model.evaluate(arch, agent_seed=self.agent_id)
+            result = self.backend.execute(arch)
             jobs.append(self.service.submit(self.agent_id, arch, result))
         # NOTE: an *empty* batch is reported as not-all-cached — absence
         # of submissions is no evidence of cache convergence
@@ -257,24 +258,16 @@ class BalsamEvaluator(Evaluator):
             done_jobs = yield AllOf([job.done for job in jobs])
             for job in done_jobs:
                 if job.failed:
-                    # retries exhausted or batch deadline hit: surface the
-                    # paper's failure reward; never cached, so the same
-                    # architecture may be re-attempted later
-                    self.num_failed += 1
-                    failure = EvalResult(RewardModel.FAILURE_REWARD,
-                                         job.result.duration,
-                                         job.result.params)
+                    # retries exhausted or batch deadline hit: surface
+                    # the paper's failure reward
                     start = (job.start_time if job.start_time >= 0
                              else job.submit_time)
-                    self._finished.append(EvalRecord(
-                        job.arch, failure, self.agent_id, job.submit_time,
-                        start, sim.now))
+                    self._fail(job.arch, job.result.duration,
+                               job.result.params, job.submit_time, start,
+                               sim.now)
                     continue
-                if self.cache is not None:
-                    self.cache.put(job.arch, job.result)
-                self._finished.append(EvalRecord(
-                    job.arch, job.result, self.agent_id, job.submit_time,
-                    job.start_time, job.end_time))
+                self._complete(job.arch, job.result, job.submit_time,
+                               job.start_time, job.end_time)
             batch_done.succeed()
 
         sim.process(finisher(), name=f"agent{self.agent_id}.batch")
@@ -291,7 +284,3 @@ class BalsamEvaluator(Evaluator):
 
             sim.process(watchdog(), name=f"agent{self.agent_id}.deadline")
         return batch_done
-
-    def get_finished_evals(self) -> list[EvalRecord]:
-        out, self._finished = self._finished, []
-        return out

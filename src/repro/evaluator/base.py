@@ -56,9 +56,29 @@ class Evaluator:
         self.num_submitted = 0
         self.num_cache_hits = 0
         self.num_failed = 0
+        #: True iff the most recent non-empty batch was answered
+        #: entirely from the cache (drives convergence detection, §5.1)
+        self.last_batch_all_cached = False
 
     def add_eval_batch(self, archs: list[Architecture]):
         raise NotImplementedError
 
     def get_finished_evals(self) -> list[EvalRecord]:
         raise NotImplementedError
+
+    # -- uniform lifecycle --------------------------------------------
+    # Backends with nothing in flight inherit these as no-ops, so every
+    # evaluator is drop-in interchangeable behind the broker:
+    #     with make_evaluator() as ev:
+    #         ev.add_eval_batch(archs); ev.wait_all()
+    def wait_all(self, timeout: float | None = None) -> None:
+        """Block until every submitted estimation has completed."""
+
+    def shutdown(self) -> None:
+        """Release backend resources (idempotent)."""
+
+    def __enter__(self) -> "Evaluator":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()

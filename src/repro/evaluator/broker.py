@@ -1,0 +1,150 @@
+"""Unified evaluation broker (§4).
+
+The paper's evaluator "enforces a complete separation of concerns
+between the search and the backend".  The broker is where that
+separation lives: it is the single submit/poll front-end that owns the
+agent-local :class:`~repro.evaluator.cache.EvalCache`, cache-hit
+short-circuiting, submission/hit/failure counters, failure-reward
+conversion, the finished-record queue, and the wait/shutdown lifecycle.
+Backends shrink to a pure ``execute(arch) -> EvalResult`` surface
+(:class:`EvalBackend`) plus a dispatch policy — serial, thread pool, or
+the simulated Balsam service — and can no longer drift apart on the
+shared bookkeeping they used to each reimplement.
+
+The broker also emits the structured event stream (``submit``,
+``cache-hit``, ``eval-done``) to an optional :mod:`repro.events` sink.
+"""
+
+from __future__ import annotations
+
+import time
+
+from ..events import CACHE_HIT, EVAL_DONE, SUBMIT, EventSink, emit
+from ..nas.arch import Architecture
+from ..rewards.base import EvalResult, RewardModel
+from .base import EvalRecord, Evaluator
+from .cache import EvalCache
+
+__all__ = ["EvalBackend", "RewardModelBackend", "EvalBroker"]
+
+
+class EvalBackend:
+    """A pure evaluation executor: one architecture in, one result out.
+
+    Backends never see the cache, the counters, or the record queue —
+    the broker owns all of that.  ``execute`` may raise; the broker
+    converts the exception into a ``FAILURE_REWARD`` record.
+    """
+
+    def execute(self, arch: Architecture) -> EvalResult:
+        raise NotImplementedError
+
+
+class RewardModelBackend(EvalBackend):
+    """Wraps a :class:`~repro.rewards.base.RewardModel` as a backend,
+    evaluating with the agent-specific seed (§4: rewards depend on the
+    agent's random weight initialization)."""
+
+    def __init__(self, reward_model: RewardModel, agent_id: int = 0) -> None:
+        self.reward_model = reward_model
+        self.agent_id = agent_id
+
+    def execute(self, arch: Architecture) -> EvalResult:
+        return self.reward_model.evaluate(arch, agent_seed=self.agent_id)
+
+
+class EvalBroker(Evaluator):
+    """Shared front-end machinery for every evaluator backend.
+
+    Subclasses implement ``add_eval_batch`` in terms of the protected
+    helpers — ``_cache_hit`` / ``_complete`` / ``_fail`` — and may
+    override ``_poll`` to pump pending completions before a drain.
+    Everything the search loop observes (counters, record order,
+    ``last_batch_all_cached``, checkpoint restore) is defined here,
+    once.
+    """
+
+    def __init__(self, agent_id: int = 0, use_cache: bool = True,
+                 clock=time.monotonic, sink: EventSink | None = None) -> None:
+        super().__init__(agent_id)
+        self.cache = EvalCache() if use_cache else None
+        self.clock = clock
+        self.sink = sink
+        self._finished: list[EvalRecord] = []
+
+    # -- shared bookkeeping -------------------------------------------
+    def _begin_batch(self, archs: list[Architecture]) -> None:
+        emit(self.sink, SUBMIT, self.clock(), self.agent_id,
+             count=len(archs))
+
+    def _cache_hit(self, arch: Architecture, submit_time: float) -> bool:
+        """Cache short-circuit: on a hit, record + count + emit.
+
+        Returns True iff the architecture was answered from the cache
+        (the caller skips dispatch).  A miss bumps the cache's own miss
+        tally as a side effect of the lookup.
+        """
+        if self.cache is None:
+            return False
+        cached = self.cache.get(arch)
+        if cached is None:
+            return False
+        self.num_cache_hits += 1
+        self._finished.append(EvalRecord(
+            arch, cached, self.agent_id, submit_time, submit_time,
+            self.clock(), cached=True))
+        emit(self.sink, CACHE_HIT, self.clock(), self.agent_id,
+             reward=cached.reward)
+        return True
+
+    def _complete(self, arch: Architecture, result: EvalResult,
+                  submit_time: float, start_time: float,
+                  end_time: float) -> None:
+        """Deliver one successful evaluation: cache it, queue the record."""
+        if self.cache is not None:
+            self.cache.put(arch, result)
+        self._finished.append(EvalRecord(
+            arch, result, self.agent_id, submit_time, start_time, end_time))
+        emit(self.sink, EVAL_DONE, end_time, self.agent_id,
+             reward=result.reward, failed=False)
+
+    def _fail(self, arch: Architecture, duration: float, params: int,
+              submit_time: float, start_time: float,
+              end_time: float) -> None:
+        """Deliver one failed evaluation as the paper's failure reward.
+
+        Failures are never cached, so the same architecture may be
+        re-attempted later.
+        """
+        self.num_failed += 1
+        result = EvalResult(RewardModel.FAILURE_REWARD, duration, params)
+        self._finished.append(EvalRecord(
+            arch, result, self.agent_id, submit_time, start_time, end_time))
+        emit(self.sink, EVAL_DONE, end_time, self.agent_id,
+             reward=result.reward, failed=True)
+
+    # -- polling -------------------------------------------------------
+    def _poll(self) -> None:
+        """Pump pending completions into the finished queue (hook)."""
+
+    def get_finished_evals(self) -> list[EvalRecord]:
+        self._poll()
+        out, self._finished = self._finished, []
+        return out
+
+    # -- checkpoint / resurrection support -----------------------------
+    def restore_counters(self, num_submitted: int, num_cache_hits: int,
+                         num_failed: int) -> None:
+        """Rewind the broker's counters to an iteration boundary.
+
+        The cache's own hit/miss tally is restored alongside: every
+        submitted architecture performs exactly one cache lookup, so
+        ``hits == num_cache_hits`` and ``misses == num_submitted -
+        num_cache_hits`` whenever the cache is enabled.
+        """
+        self.num_submitted = num_submitted
+        self.num_cache_hits = num_cache_hits
+        self.num_failed = num_failed
+        if self.cache is not None:
+            self.cache.hits = num_cache_hits
+            self.cache.misses = num_submitted - num_cache_hits

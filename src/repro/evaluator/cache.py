@@ -51,9 +51,21 @@ class EvalCache:
         items = list(self._store.items())
         return items if limit is None else items[:limit]
 
-    def restore(self, entries: list) -> None:
-        """Replace the store with checkpointed (key, result) entries."""
+    def restore(self, entries: list, hits: int | None = None,
+                misses: int | None = None) -> None:
+        """Replace the store with checkpointed (key, result) entries.
+
+        ``hits``/``misses`` restore the lookup tally alongside the
+        store; left ``None`` the counters are untouched (they used to be
+        silently dropped on checkpoint resume — the broker now passes
+        them so resumed caches report the same hit rate as the original
+        run).
+        """
         self._store = dict(entries)
+        if hits is not None:
+            self.hits = int(hits)
+        if misses is not None:
+            self.misses = int(misses)
 
     def __len__(self) -> int:
         return len(self._store)

@@ -4,46 +4,49 @@ Evaluations run immediately and synchronously on ``add_eval_batch``;
 ``get_finished_evals`` drains the completion queue.  Used by the
 examples and by real-training searches, where the reward model's
 duration is genuine wall time.
+
+All cache / counter / failure bookkeeping lives in
+:class:`~repro.evaluator.broker.EvalBroker`; this class is only the
+dispatch policy (run it now, inline).  A reward-model exception becomes
+a ``FAILURE_REWARD`` record — the same conversion every other backend
+applies — so serial runs are drop-in interchangeable behind the broker.
 """
 
 from __future__ import annotations
 
 import time
 
+from ..events import EventSink
 from ..nas.arch import Architecture
 from ..rewards.base import RewardModel
-from .base import EvalRecord, Evaluator
-from .cache import EvalCache
+from .broker import EvalBroker, RewardModelBackend
 
 __all__ = ["SerialEvaluator"]
 
 
-class SerialEvaluator(Evaluator):
+class SerialEvaluator(EvalBroker):
     def __init__(self, reward_model: RewardModel, agent_id: int = 0,
-                 use_cache: bool = True, clock=time.monotonic) -> None:
-        super().__init__(agent_id)
+                 use_cache: bool = True, clock=time.monotonic,
+                 sink: EventSink | None = None) -> None:
+        super().__init__(agent_id=agent_id, use_cache=use_cache,
+                         clock=clock, sink=sink)
         self.reward_model = reward_model
-        self.cache = EvalCache() if use_cache else None
-        self.clock = clock
-        self._finished: list[EvalRecord] = []
+        self.backend = RewardModelBackend(reward_model, agent_id)
 
     def add_eval_batch(self, archs: list[Architecture]) -> None:
+        self._begin_batch(archs)
+        all_cached = True
         for arch in archs:
             submit = self.clock()
             self.num_submitted += 1
-            cached = self.cache.get(arch) if self.cache is not None else None
-            if cached is not None:
-                self.num_cache_hits += 1
-                self._finished.append(EvalRecord(
-                    arch, cached, self.agent_id, submit, submit,
-                    self.clock(), cached=True))
+            if self._cache_hit(arch, submit):
                 continue
-            result = self.reward_model.evaluate(arch, agent_seed=self.agent_id)
-            if self.cache is not None:
-                self.cache.put(arch, result)
-            self._finished.append(EvalRecord(
-                arch, result, self.agent_id, submit, submit, self.clock()))
-
-    def get_finished_evals(self) -> list[EvalRecord]:
-        out, self._finished = self._finished, []
-        return out
+            all_cached = False
+            try:
+                result = self.backend.execute(arch)
+            except Exception:   # noqa: BLE001 — surfaced as failure record
+                self._fail(arch, max(0.0, self.clock() - submit), 0,
+                           submit, submit, self.clock())
+                continue
+            self._complete(arch, result, submit, submit, self.clock())
+        self.last_batch_all_cached = all_cached and bool(archs)

@@ -9,6 +9,10 @@ per-agent batch barrier the search loop needs.
 
 numpy releases the GIL inside BLAS kernels, so real-training reward
 models get genuine overlap on multi-core machines.
+
+All cache / counter / failure bookkeeping lives in
+:class:`~repro.evaluator.broker.EvalBroker`; this class only owns the
+pool and the pending-future set.
 """
 
 from __future__ import annotations
@@ -16,70 +20,54 @@ from __future__ import annotations
 import time
 from concurrent.futures import Future, ThreadPoolExecutor, wait
 
+from ..events import EventSink
 from ..nas.arch import Architecture
-from ..rewards.base import EvalResult, RewardModel
-from .base import EvalRecord, Evaluator
-from .cache import EvalCache
+from ..rewards.base import RewardModel
+from .broker import EvalBroker, RewardModelBackend
 
 __all__ = ["ThreadEvaluator"]
 
 
-class ThreadEvaluator(Evaluator):
+class ThreadEvaluator(EvalBroker):
     def __init__(self, reward_model: RewardModel, agent_id: int = 0,
                  max_workers: int = 4, use_cache: bool = True,
-                 clock=time.monotonic) -> None:
-        super().__init__(agent_id)
+                 clock=time.monotonic, sink: EventSink | None = None) -> None:
+        super().__init__(agent_id=agent_id, use_cache=use_cache,
+                         clock=clock, sink=sink)
         self.reward_model = reward_model
-        self.cache = EvalCache() if use_cache else None
-        self.clock = clock
+        self.backend = RewardModelBackend(reward_model, agent_id)
         self._pool = ThreadPoolExecutor(max_workers=max_workers)
         self._pending: list[tuple[Architecture, float, Future]] = []
-        self._finished: list[EvalRecord] = []
 
     def add_eval_batch(self, archs: list[Architecture]) -> None:
+        self._begin_batch(archs)
+        all_cached = True
         for arch in archs:
             submit = self.clock()
             self.num_submitted += 1
-            cached = self.cache.get(arch) if self.cache is not None else None
-            if cached is not None:
-                self.num_cache_hits += 1
-                self._finished.append(EvalRecord(
-                    arch, cached, self.agent_id, submit, submit,
-                    self.clock(), cached=True))
+            if self._cache_hit(arch, submit):
                 continue
-            future = self._pool.submit(self.reward_model.evaluate, arch,
-                                       self.agent_id)
+            all_cached = False
+            future = self._pool.submit(self.backend.execute, arch)
             self._pending.append((arch, submit, future))
+        self.last_batch_all_cached = all_cached and bool(archs)
 
-    def _drain(self) -> None:
+    def _poll(self) -> None:
         still_pending = []
         for arch, submit, future in self._pending:
-            if future.done():
-                try:
-                    result = future.result()
-                except Exception:       # noqa: BLE001 — worker died; any
-                    # reward-model exception becomes a failure record
-                    # instead of propagating into the caller's drain loop
-                    self.num_failed += 1
-                    result = EvalResult(RewardModel.FAILURE_REWARD,
-                                        max(0.0, self.clock() - submit), 0)
-                    self._finished.append(EvalRecord(
-                        arch, result, self.agent_id, submit, submit,
-                        self.clock()))
-                    continue
-                if self.cache is not None:
-                    self.cache.put(arch, result)
-                self._finished.append(EvalRecord(
-                    arch, result, self.agent_id, submit, submit,
-                    self.clock()))
-            else:
+            if not future.done():
                 still_pending.append((arch, submit, future))
+                continue
+            try:
+                result = future.result()
+            except Exception:   # noqa: BLE001 — worker died; any
+                # reward-model exception becomes a failure record
+                # instead of propagating into the caller's drain loop
+                self._fail(arch, max(0.0, self.clock() - submit), 0,
+                           submit, submit, self.clock())
+                continue
+            self._complete(arch, result, submit, submit, self.clock())
         self._pending = still_pending
-
-    def get_finished_evals(self) -> list[EvalRecord]:
-        self._drain()
-        out, self._finished = self._finished, []
-        return out
 
     def wait_all(self, timeout: float | None = None) -> None:
         """Block until every submitted estimation has completed."""
@@ -87,9 +75,3 @@ class ThreadEvaluator(Evaluator):
 
     def shutdown(self) -> None:
         self._pool.shutdown(wait=True)
-
-    def __enter__(self) -> "ThreadEvaluator":
-        return self
-
-    def __exit__(self, *exc) -> None:
-        self.shutdown()

@@ -5,12 +5,21 @@ from ..hpc.faults import FaultConfig
 from .base import RewardRecord, SearchConfig, SearchResult
 from .checkpoint import AgentCheckpoint, SearchCheckpoint
 from .evolution import EvolutionConfig, EvolutionSearch, run_evolution
+from .exchange import (EXCHANGE_STRATEGIES, A2CExchange, A3CExchange,
+                       ExchangeStrategy, RandomExchange, build_exchange)
+from .hooks import (BoundaryHook, HealthHook, HookStack, LifecycleHooks,
+                    NumericFaultHook)
+from .loop import AgentLoop
 from .runner import NasSearch, resume_search, run_search
 
-__all__ = ['AgentCheckpoint', 'EvolutionConfig', 'EvolutionSearch',
-           'FaultConfig', 'NasSearch', 'NodeAllocation', 'RewardRecord',
-           'SearchCheckpoint', 'SearchConfig', 'SearchResult',
-           'resume_search', 'run_evolution', 'run_search']
+__all__ = ['A2CExchange', 'A3CExchange', 'AgentCheckpoint', 'AgentLoop',
+           'BoundaryHook', 'EXCHANGE_STRATEGIES', 'EvolutionConfig',
+           'EvolutionSearch', 'ExchangeStrategy', 'FaultConfig',
+           'HealthHook', 'HookStack', 'LifecycleHooks', 'NasSearch',
+           'NodeAllocation', 'NumericFaultHook', 'RandomExchange',
+           'RewardRecord', 'SearchCheckpoint', 'SearchConfig',
+           'SearchResult', 'build_exchange', 'resume_search',
+           'run_evolution', 'run_search']
 
 
 def a3c_config(**kwargs) -> SearchConfig:

@@ -88,7 +88,11 @@ class SearchConfig:
     def __post_init__(self) -> None:
         if self.max_restarts < 0:
             raise ValueError("max_restarts must be non-negative")
-        if self.method not in ("a3c", "a2c", "rdm"):
+        # validated against the strategy registry, so registering a new
+        # exchange mode is all a new method name needs (imported lazily:
+        # exchange pulls in the rl/health stacks)
+        from .exchange import EXCHANGE_STRATEGIES
+        if self.method not in EXCHANGE_STRATEGIES:
             raise ValueError(f"unknown method {self.method!r}")
         if self.wall_time <= 0:
             raise ValueError("wall_time must be positive")

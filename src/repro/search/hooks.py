@@ -1,0 +1,207 @@
+"""Lifecycle hooks: how cross-cutting layers attach to the agent loop.
+
+The agent loop (:mod:`repro.search.loop`) is deliberately ignorant of
+checkpointing, chaos, and health monitoring.  Each of those concerns is
+one :class:`LifecycleHooks` implementation composed into a
+:class:`HookStack` per agent *lifetime* (a resurrection builds a fresh
+stack, matching the per-lifetime semantics of rollback budgets and the
+restart-keyed numeric fault draw):
+
+* :class:`BoundaryHook` — captures the iteration boundary feeding both
+  checkpoint capture and in-run resurrection;
+* :class:`NumericFaultHook` — chaos-layer numerical fault injection
+  (NaN gradients, exploding losses, in-flight delta corruption);
+* :class:`HealthHook` — the :mod:`repro.health` guard/rollback layer.
+
+Hook order in the stack is semantic: faults are injected *before* the
+health check so the guards see (and may undo) the corruption, exactly
+as the inline pre-refactor code behaved.
+"""
+
+from __future__ import annotations
+
+import copy
+
+import numpy as np
+
+from ..events import ROLLBACK, EventSink, emit
+from ..health.guards import GuardConfig, NumericalAnomaly
+from ..health.recovery import AgentHealth
+from ..hpc.faults import FaultInjector
+from .checkpoint import AgentBoundary
+
+__all__ = ["LifecycleHooks", "HookStack", "BoundaryHook",
+           "NumericFaultHook", "HealthHook"]
+
+
+class LifecycleHooks:
+    """Observer/transformer protocol around one loop iteration.
+
+    Every method defaults to a no-op; ``loop`` is the calling
+    :class:`~repro.search.loop.AgentLoop`, whose public attributes
+    (``iteration``, ``policy``, ``updater``, ``digest``, ...) are the
+    hook's view of agent state.
+    """
+
+    def on_iteration_start(self, loop) -> None:
+        """Top of the iteration, before sampling."""
+
+    def before_update(self, loop) -> None:
+        """A learning step is about to run (pre-update state is live)."""
+
+    def after_update(self, loop, delta: np.ndarray, push_delta: np.ndarray,
+                     stats) -> tuple[np.ndarray, np.ndarray]:
+        """Transform ``(local delta, delta pushed to the exchange)``.
+
+        Returning the pair unchanged is the identity hook; raising
+        crashes the agent (the runner's wrapper takes it from there).
+        """
+        return delta, push_delta
+
+    def on_iteration_end(self, loop) -> None:
+        """Bottom of the iteration, after the digest advanced."""
+
+
+class HookStack(LifecycleHooks):
+    """Runs hooks in order; ``after_update`` threads the delta pair."""
+
+    def __init__(self, hooks) -> None:
+        self.hooks = [h for h in hooks if h is not None]
+
+    def on_iteration_start(self, loop) -> None:
+        for hook in self.hooks:
+            hook.on_iteration_start(loop)
+
+    def before_update(self, loop) -> None:
+        for hook in self.hooks:
+            hook.before_update(loop)
+
+    def after_update(self, loop, delta, push_delta, stats):
+        for hook in self.hooks:
+            delta, push_delta = hook.after_update(loop, delta, push_delta,
+                                                  stats)
+        return delta, push_delta
+
+    def on_iteration_end(self, loop) -> None:
+        for hook in self.hooks:
+            hook.on_iteration_end(loop)
+
+
+class BoundaryHook(LifecycleHooks):
+    """Captures the agent's iteration boundary into a shared store.
+
+    The boundary is everything a fresh lifetime needs to replay from
+    this exact point — RNG state, policy/optimizer vectors, counters,
+    digest — and feeds both periodic checkpoints and in-run
+    resurrection.  ``capture_lr`` additionally records the (possibly
+    backed-off) learning rate when the recover-mode health layer is on.
+    """
+
+    def __init__(self, store: dict, capture_lr: bool = False) -> None:
+        self.store = store
+        self.capture_lr = capture_lr
+
+    def on_iteration_start(self, loop) -> None:
+        evaluator, updater = loop.evaluator, loop.updater
+        self.store[loop.agent_id] = AgentBoundary(
+            time=loop.sim.now, iteration=loop.iteration,
+            rng_state=copy.deepcopy(loop.rng.bit_generator.state),
+            policy_flat=(None if loop.policy is None
+                         else loop.policy.get_flat()),
+            opt_state=(None if updater is None
+                       else updater.optimizer.export_state()),
+            consecutive_cached=loop.consecutive_cached,
+            cache_len=(len(evaluator.cache)
+                       if evaluator.cache is not None else 0),
+            num_records=loop.num_records,
+            num_submitted=evaluator.num_submitted,
+            num_cache_hits=evaluator.num_cache_hits,
+            num_failed=evaluator.num_failed,
+            traj_digest=loop.digest,
+            lr=(updater.optimizer.lr
+                if updater is not None and self.capture_lr else None))
+
+
+class NumericFaultHook(LifecycleHooks):
+    """Chaos layer: applies this iteration's numerical fault draw.
+
+    The draw is a pure function of ``(seed, agent, iteration,
+    attempt)`` — ``attempt`` is the lifetime's restart count, constant
+    within a lifetime, so the hook is built per lifetime.
+    """
+
+    def __init__(self, injector: FaultInjector, attempt: int) -> None:
+        self.injector = injector
+        self.attempt = attempt
+
+    def after_update(self, loop, delta, push_delta, stats):
+        fault = self.injector.numeric_fault(loop.agent_id, loop.iteration,
+                                            self.attempt)
+        if fault is None or fault.none:
+            return delta, push_delta
+        self.injector.num_numeric_faults += 1
+        if fault.nan_grad:
+            # a corrupted gradient buffer: the local update (already
+            # applied by update_delta) and its delta both carry NaN
+            poison = np.zeros_like(delta)
+            poison[0] = np.nan
+            loop.policy.add_flat(poison)
+            delta = delta.copy()
+            delta[0] = np.nan
+            return delta, delta
+        if fault.exploding_loss:
+            # a diverged local policy: the update direction is real but
+            # enormously overscaled
+            factor = self.injector.config.exploding_factor
+            loop.policy.add_flat(delta * (factor - 1.0))
+            delta = delta * factor
+            return delta, delta
+        # corrupt_delta: corruption in flight — the local policy stays
+        # healthy, only the copy pushed to the parameter server is bad
+        push_delta = delta.copy()
+        push_delta[0] = np.nan
+        return delta, push_delta
+
+
+class HealthHook(LifecycleHooks):
+    """Health layer: snapshot before the update, check it after, and
+    roll back (or crash, in check mode) on a numerical anomaly.
+
+    One instance per agent lifetime, like the :class:`AgentHealth` it
+    wraps — rollback budgets are per-lifetime by design.
+    """
+
+    def __init__(self, guard: GuardConfig, base_lr: float,
+                 rollbacks: dict, sink: EventSink | None = None) -> None:
+        self.guard = guard
+        self.health = AgentHealth(guard, base_lr=base_lr)
+        self.rollbacks = rollbacks      # shared agent_id -> count store
+        self.sink = sink
+
+    def before_update(self, loop) -> None:
+        # pre-update state is last-known-good: a poisoned update is
+        # undone exactly by restoring it
+        self.health.snapshot(loop.iteration, loop.policy.get_flat(),
+                             loop.updater.optimizer.export_state())
+
+    def after_update(self, loop, delta, push_delta, stats):
+        anomaly = self.health.check_update(loop.policy.get_flat(), delta,
+                                           stats)
+        if anomaly is None:
+            return delta, push_delta
+        if not self.guard.recovers:
+            # check mode: crash the agent; the runner's wrapper
+            # resurrects it (or reports it) from there
+            raise NumericalAnomaly(anomaly, f"agent{loop.agent_id}",
+                                   "numerical guard tripped (mode=check)")
+        # recover mode: roll back to the last good snapshot with LR
+        # backoff (escalates to a crash once the lifetime budget is spent)
+        self.health.rollback(loop.policy, loop.updater.optimizer)
+        self.rollbacks[loop.agent_id] = \
+            self.rollbacks.get(loop.agent_id, 0) + 1
+        emit(self.sink, ROLLBACK, loop.sim.now, loop.agent_id,
+             loop.iteration, anomaly=anomaly)
+        # the poisoned local step is undone; contribute nothing to the
+        # exchange this iteration
+        delta = np.zeros_like(delta)
+        return delta, delta

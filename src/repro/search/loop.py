@@ -1,0 +1,169 @@
+"""The agent loop (§3.2): one agent's sample → evaluate → learn →
+exchange cycle, composed from the three runtime seams.
+
+:class:`AgentLoop` is a coroutine over the discrete-event kernel.  It
+knows *nothing* about a3c/a2c/rdm branching (the
+:class:`~repro.search.exchange.ExchangeStrategy` does), nothing about
+cache or failure bookkeeping (the
+:class:`~repro.evaluator.broker.EvalBroker` does), and nothing about
+checkpoints, chaos, or health guards (the
+:class:`~repro.search.hooks.LifecycleHooks` stack does).  One instance
+drives one agent *lifetime*; the runner builds a fresh loop when it
+resurrects a crashed agent or resumes from a checkpoint, handing it the
+recorded :class:`~repro.search.checkpoint.AgentBoundary` as ``resume``.
+
+Determinism: the loop reproduces the pre-refactor iteration byte for
+byte — same RNG draws, same simulator yields, same digest chaining —
+which is what keeps search fingerprints bit-identical across the
+refactor.
+"""
+
+from __future__ import annotations
+
+import copy
+
+import numpy as np
+
+from ..hpc.sim import Timeout
+from ..verify.fingerprint import agent_genesis, chain_step
+from .base import RewardRecord
+
+__all__ = ["AgentLoop"]
+
+
+class AgentLoop:
+    """One agent lifetime over simulator ``sim``.
+
+    The loop appends to the runner-owned ``records`` list and
+    ``digests`` dict in place, preserving the global interleaving that
+    the trajectory fingerprint hashes.
+    """
+
+    def __init__(self, *, sim, space, config, agent_id, evaluator, policy,
+                 updater, exchange, hooks, records, digests,
+                 resume=None) -> None:
+        self.sim = sim
+        self.space = space
+        self.config = config
+        self.agent_id = agent_id
+        self.evaluator = evaluator
+        self.policy = policy
+        self.updater = updater
+        self.exchange = exchange
+        self.hooks = hooks
+        self.records = records
+        self.digests = digests
+        self.resume = resume
+        self.batch = config.allocation.workers_per_agent
+        self.dims = np.array(space.action_dims)
+        # live per-lifetime state (hooks read these)
+        self.rng: np.random.Generator | None = None
+        self.iteration = 0
+        self.consecutive_cached = 0
+        self.num_records = 0
+        self.digest: str | None = None
+        self.converged = False
+
+    # ------------------------------------------------------------------
+    def run(self):
+        """The agent coroutine; returns True iff the agent converged."""
+        cfg = self.config
+        yield from self._startup()
+        while self.sim.now < cfg.wall_time:
+            self.hooks.on_iteration_start(self)
+            actions, rollout = self._sample()
+            rewards = yield from self._evaluate(actions)
+            if self.updater is not None:
+                yield from self._learn(rollout, rewards)
+            self._advance(actions, rewards)
+            if self.converged:
+                break
+        return self.converged
+
+    # ------------------------------------------------------------------
+    def _startup(self):
+        """Seed the lifetime's RNG and take the initial timeout."""
+        cfg, resume = self.config, self.resume
+        if resume is not None:
+            # restart at the recorded iteration boundary: restored RNG
+            # and policy re-generate the in-flight batch exactly.  For
+            # checkpoint resume sim.now is 0 and this sleeps to the
+            # boundary time; for in-run resurrection the boundary is in
+            # the past and the agent restarts immediately.
+            rng = np.random.default_rng(0)
+            rng.bit_generator.state = copy.deepcopy(resume.rng_state)
+            self.rng = rng
+            self.consecutive_cached = resume.consecutive_cached
+            self.iteration = resume.iteration
+            self.num_records = resume.num_records
+            self.digest = (resume.traj_digest
+                           or agent_genesis(cfg.seed, self.agent_id))
+            self.digests[self.agent_id] = self.digest
+            yield Timeout(max(0.0, resume.time - self.sim.now))
+        else:
+            self.rng = np.random.default_rng((cfg.seed, self.agent_id,
+                                              0xA6E))
+            self.digest = agent_genesis(cfg.seed, self.agent_id)
+            self.digests[self.agent_id] = self.digest
+            # stagger startup slightly so same-instant submissions don't
+            # all carry identical timestamps (and to model ramp-up)
+            yield Timeout(self.rng.uniform(0.0, 2.0))
+
+    def _sample(self):
+        """Draw this iteration's batch of architecture action rows."""
+        if self.policy is None:     # RDM
+            actions = self.rng.integers(0, self.dims,
+                                        size=(self.batch, len(self.dims)))
+            return actions, None
+        rollout = self.policy.sample(self.batch, self.rng)
+        return rollout.actions, rollout
+
+    def _evaluate(self, actions):
+        """Submit the batch, wait for it, and log aligned rewards."""
+        archs = [self.space.decode(row) for row in actions]
+        batch_done = self.evaluator.add_eval_batch(archs)
+        yield batch_done
+        recs = self.evaluator.get_finished_evals()
+        # align rewards with the rollout's row order
+        by_key: dict[tuple, list] = {}
+        for rec in recs:
+            by_key.setdefault(rec.arch.key, []).append(rec)
+        rewards = np.empty(len(archs))
+        for i, arch in enumerate(archs):
+            rec = by_key[arch.key].pop(0)
+            rewards[i] = rec.reward
+            self.records.append(RewardRecord(
+                rec.end_time, self.agent_id, rec.arch, rec.reward,
+                rec.result.params, rec.result.duration, rec.cached,
+                rec.result.timed_out))
+            self.num_records += 1
+        return rewards
+
+    def _learn(self, rollout, rewards):
+        """PPO step, hook transforms, and the exchange round."""
+        self.hooks.before_update(self)
+        delta, stats = self.updater.update_delta(rollout, rewards)
+        delta, push_delta = self.hooks.after_update(self, delta, delta,
+                                                    stats)
+        avg = yield from self.exchange.on_gradient(self.agent_id,
+                                                   push_delta,
+                                                   self.iteration)
+        # update_delta already applied the local delta; replace it with
+        # the exchange's average
+        self.policy.add_flat(avg - delta)
+        self.exchange.on_round_end(self.agent_id, self.iteration)
+
+    def _advance(self, actions, rewards):
+        """Chain the digest, track convergence, close the iteration."""
+        self.digest = chain_step(self.digest, actions, rewards,
+                                 None if self.policy is None
+                                 else self.policy.get_flat())
+        self.digests[self.agent_id] = self.digest
+        if self.evaluator.last_batch_all_cached:
+            self.consecutive_cached += 1
+        else:
+            self.consecutive_cached = 0
+        self.iteration += 1
+        self.hooks.on_iteration_end(self)
+        if self.consecutive_cached >= self.config.convergence_patience:
+            self.converged = True

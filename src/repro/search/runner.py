@@ -1,17 +1,21 @@
 """Multi-agent NAS runner over the simulated cluster (§3.2, Fig. 2/3).
 
-Each agent is a coroutine process of the discrete-event kernel:
+The runner is a thin composition root.  Each agent is an
+:class:`~repro.search.loop.AgentLoop` coroutine wired from the three
+runtime seams (see ``docs/architecture.md``):
 
-    loop until wall-clock limit or convergence:
-      1. sample M architectures from the agent's LSTM policy
-         (RDM: uniform random actions)
-      2. submit them through the agent's Balsam evaluator and wait for
-         the batch (per-agent batch synchronization, §5.1)
-      3. compute the PPO update; exchange it through the parameter
-         server (A2C: synchronous barrier; A3C: asynchronous average of
-         recent updates) and apply the returned average
-      4. log reward records; stop when ``convergence_patience``
-         consecutive batches were pure cache hits
+* an :class:`~repro.search.exchange.ExchangeStrategy` (a3c / a2c / rdm)
+  over the parameter server;
+* a per-agent :class:`~repro.evaluator.balsam.BalsamEvaluator`
+  (an :class:`~repro.evaluator.broker.EvalBroker`) over the shared
+  Balsam service;
+* a :class:`~repro.search.hooks.HookStack` through which checkpoint
+  boundary capture, numeric fault injection, and health guards attach.
+
+What is left here is orchestration: spawning agents, the crash-safe
+wrapper with resurrection, checkpoint capture/restore, and final
+accounting.  All layers emit :class:`~repro.events.SearchEvent` records
+to an optional ``event_sink``.
 
 The search stops when every agent has stopped, or at the wall-time
 limit, whichever is first — matching the paper's runs, where A3C on
@@ -34,25 +38,22 @@ set, the loop is byte-for-byte the fault-free search.
 
 from __future__ import annotations
 
-import copy
-
 import numpy as np
 
 from ..evaluator.balsam import BalsamEvaluator, BalsamService
-from ..health.guards import NumericalAnomaly
-from ..health.recovery import AgentHealth, DeltaSanitizer
+from ..events import AGENT_DONE, CHECKPOINT, CRASH, RESTART, EventSink, emit
 from ..hpc.cluster import Cluster
 from ..hpc.faults import FaultInjector
 from ..hpc.sim import Interrupt, Simulator, Timeout
 from ..nas.space import Structure
 from ..rewards.base import RewardModel
-from ..rl.parameter_server import ParameterServer
 from ..rl.policy import LSTMPolicy
-from ..rl.sharded_ps import ShardedParameterServer
 from ..rl.ppo import PPOConfig, PPOUpdater
-from ..verify.fingerprint import agent_genesis, chain_step
 from .base import RewardRecord, SearchConfig, SearchResult
 from .checkpoint import AgentBoundary, AgentCheckpoint, SearchCheckpoint
+from .exchange import build_exchange
+from .hooks import BoundaryHook, HealthHook, HookStack, NumericFaultHook
+from .loop import AgentLoop
 
 __all__ = ["NasSearch", "run_search", "resume_search"]
 
@@ -63,20 +64,21 @@ class NasSearch:
     ``resume_from`` restarts a previously checkpointed search: finished
     agents stay finished, unfinished agents restart at their recorded
     iteration boundaries with restored policy/RNG/cache state, and the
-    parameter server resumes its exchange history.
+    parameter server resumes its exchange history.  ``event_sink``
+    receives the structured event stream from every layer.
     """
 
     def __init__(self, space: Structure, reward_model: RewardModel,
                  config: SearchConfig | None = None,
-                 resume_from: SearchCheckpoint | None = None) -> None:
+                 resume_from: SearchCheckpoint | None = None,
+                 event_sink: EventSink | None = None) -> None:
         self.space = space
         self.reward_model = reward_model
-        self.config = config or SearchConfig()
-        cfg = self.config
+        self.config = cfg = config or SearchConfig()
+        self.sink = event_sink
 
         self.sim = Simulator()
-        alloc = cfg.allocation
-        self.cluster = Cluster(self.sim, alloc.worker_nodes)
+        self.cluster = Cluster(self.sim, cfg.allocation.worker_nodes)
         self.injector = (FaultInjector(self.sim, cfg.faults)
                          if cfg.faults is not None and cfg.faults.enabled
                          else None)
@@ -85,6 +87,8 @@ class NasSearch:
             max_retries=cfg.max_eval_retries,
             retry_backoff=cfg.retry_backoff,
             retry_backoff_cap=cfg.retry_backoff_cap)
+        self.exchange = build_exchange(self.sim, cfg, space, sink=self.sink)
+
         self.records: list[RewardRecord] = []
         self._converged_agents = 0
         self._failed_agents: list[tuple[int, str]] = []
@@ -102,64 +106,40 @@ class NasSearch:
         self._restarts: dict[int, int] = {}
         self._rollbacks: dict[int, int] = {}
 
-        guard = cfg.guard
-        guarded = guard is not None and guard.enabled
-        sanitizer = DeltaSanitizer.from_guard(guard) if guarded else None
-        max_age = guard.max_delta_age if guarded else None
+        self._build_agents()
+        if resume_from is not None:
+            self._apply_checkpoint(resume_from)
+        self._live_agents = cfg.allocation.num_agents - len(self._done_agents)
 
-        n = alloc.num_agents
-        dims = space.action_dims
-        if cfg.method == "a2c":
-            self.ps: ParameterServer | ShardedParameterServer | None = \
-                ParameterServer(self.sim, n, mode="sync",
-                                staleness_window=cfg.staleness_window,
-                                sanitizer=sanitizer)
-        elif cfg.method == "a3c":
-            if cfg.ps_shards > 1:
-                # shards screen their own slices; whole-vector delta
-                # hygiene is only wired for the unsharded servers
-                probe = LSTMPolicy(dims, hidden=cfg.hidden,
-                                   embed_dim=cfg.embed_dim, seed=0)
-                self.ps = ShardedParameterServer(
-                    self.sim, n, vector_size=probe.num_params,
-                    num_shards=cfg.ps_shards,
-                    staleness_window=cfg.staleness_window,
-                    service_time=cfg.ps_service_time)
-            else:
-                self.ps = ParameterServer(
-                    self.sim, n, mode="async",
-                    staleness_window=cfg.staleness_window,
-                    service_time=cfg.ps_service_time,
-                    sanitizer=sanitizer, max_delta_age=max_age)
-        else:
-            self.ps = None
+    @property
+    def ps(self):
+        """The exchange's parameter server (None for RDM)."""
+        return self.exchange.ps
 
+    def _build_agents(self) -> None:
+        """Per-agent evaluator / policy / PPO updater triples."""
+        cfg = self.config
+        learns = type(self.exchange).learns
         self.policies: list[LSTMPolicy | None] = []
         self.updaters: list[PPOUpdater | None] = []
         self.evaluators: list[BalsamEvaluator] = []
-        for agent_id in range(n):
+        for agent_id in range(cfg.allocation.num_agents):
             self.evaluators.append(BalsamEvaluator(
-                self.service, reward_model, agent_id,
+                self.service, self.reward_model, agent_id,
                 use_cache=cfg.use_cache,
-                batch_deadline=cfg.batch_deadline))
-            if cfg.method == "rdm":
+                batch_deadline=cfg.batch_deadline, sink=self.sink))
+            if not learns:
                 self.policies.append(None)
                 self.updaters.append(None)
-            else:
-                init_seed = (cfg.seed if cfg.shared_policy_init
-                             else cfg.seed * 10_000 + agent_id)
-                policy = LSTMPolicy(dims, hidden=cfg.hidden,
-                                    embed_dim=cfg.embed_dim,
-                                    seed=init_seed)
-                self.policies.append(policy)
-                self.updaters.append(PPOUpdater(policy, PPOConfig(
-                    clip=cfg.ppo_clip, epochs=cfg.ppo_epochs,
-                    lr=cfg.lr,
-                    entropy_coef=cfg.entropy_coef)))
-
-        if resume_from is not None:
-            self._apply_checkpoint(resume_from)
-        self._live_agents = n - len(self._done_agents)
+                continue
+            init_seed = (cfg.seed if cfg.shared_policy_init
+                         else cfg.seed * 10_000 + agent_id)
+            policy = LSTMPolicy(self.space.action_dims, hidden=cfg.hidden,
+                                embed_dim=cfg.embed_dim, seed=init_seed)
+            self.policies.append(policy)
+            self.updaters.append(PPOUpdater(policy, PPOConfig(
+                clip=cfg.ppo_clip, epochs=cfg.ppo_epochs, lr=cfg.lr,
+                entropy_coef=cfg.entropy_coef)))
 
     # ------------------------------------------------------------------
     def run(self) -> SearchResult:
@@ -192,18 +172,41 @@ class NasSearch:
                             agent_restarts=dict(self._restarts),
                             agent_rollbacks=dict(self._rollbacks))
 
-    # ------------------------------------------------------------------
+    # -- the agent wrapper ---------------------------------------------
+    def _build_loop(self, agent_id: int) -> AgentLoop:
+        """Compose one agent *lifetime* from the three seams."""
+        cfg = self.config
+        updater = self.updaters[agent_id]
+        guard = cfg.guard
+        guarded = updater is not None and guard is not None and guard.enabled
+        capture = cfg.checkpoint_interval is not None or cfg.max_restarts > 0
+        hooks = HookStack([
+            BoundaryHook(self._boundaries,
+                         capture_lr=guard is not None and guard.recovers)
+            if capture else None,
+            NumericFaultHook(self.injector,
+                             self._restarts.get(agent_id, 0))
+            if self.injector is not None and updater is not None else None,
+            HealthHook(guard, base_lr=cfg.lr, rollbacks=self._rollbacks,
+                       sink=self.sink) if guarded else None,
+        ])
+        return AgentLoop(
+            sim=self.sim, space=self.space, config=cfg, agent_id=agent_id,
+            evaluator=self.evaluators[agent_id],
+            policy=self.policies[agent_id], updater=updater,
+            exchange=self.exchange, hooks=hooks, records=self.records,
+            digests=self._digests, resume=self._resume.pop(agent_id, None))
+
     def _agent(self, agent_id: int):
-        """Crash-safe wrapper: whatever happens inside the agent body,
-        the agent deregisters from the parameter server (the sync
-        barrier shrinks instead of deadlocking) and the search accounts
-        for it.
+        """Crash-safe wrapper: whatever happens inside the agent loop,
+        the agent leaves the exchange cleanly (the sync barrier shrinks
+        instead of deadlocking) and the search accounts for it.
 
         With ``max_restarts > 0`` a crashed agent (including one whose
         numerical guard escalated) is *resurrected*: restored to its
         last iteration boundary — the same mechanics checkpoint resume
-        uses, applied in-run — and re-registered with the parameter
-        server.  Interrupts (external cancellation) never resurrect.
+        uses, applied in-run — and re-registered with the exchange.
+        Interrupts (external cancellation) never resurrect.
         """
         cfg = self.config
         converged = False
@@ -211,7 +214,7 @@ class NasSearch:
         while True:
             crashed = None
             try:
-                converged = yield from self._agent_body(agent_id)
+                converged = yield from self._build_loop(agent_id).run()
             except Interrupt as intr:
                 crashed = f"interrupted: {intr.cause}"
                 break
@@ -225,15 +228,22 @@ class NasSearch:
                 break
             restarts_left -= 1
             self._restarts[agent_id] = self._restarts.get(agent_id, 0) + 1
-            self._resurrect(agent_id, boundary)
+            self._resurrect(agent_id, boundary, crashed)
+        self._finish_agent(agent_id, converged, crashed)
+
+    def _finish_agent(self, agent_id: int, converged: bool,
+                      crashed: str | None) -> None:
+        """Final accounting for a permanently stopped agent."""
         if crashed is not None:
             self._failed_agents.append((agent_id, crashed))
+            emit(self.sink, CRASH, self.sim.now, agent_id, cause=crashed)
         self._done_agents[agent_id] = bool(converged)
         if converged:
             self._converged_agents += 1
-        if self.ps is not None:
-            self.ps.deregister(failed=crashed is not None)
+        self.exchange.leave(failed=crashed is not None)
         self._boundaries.pop(agent_id, None)
+        emit(self.sink, AGENT_DONE, self.sim.now, agent_id,
+             converged=bool(converged))
         self._live_agents -= 1
         if self._live_agents == 0:
             self._search_end_time = self.sim.now
@@ -242,19 +252,19 @@ class NasSearch:
             if self.injector is not None:
                 self.injector.stop()
 
-    def _resurrect(self, agent_id: int, boundary: AgentBoundary) -> None:
+    def _resurrect(self, agent_id: int, boundary: AgentBoundary,
+                   cause: str) -> None:
         """Restore a crashed agent to its last iteration boundary.
 
-        The crashed lifetime leaves the parameter-server barrier first
-        (``deregister(failed=True)`` — exactly what a permanent death
-        does, so a mid-round crash can never deadlock the others), then
-        the fresh lifetime re-registers; ``register`` withdraws any
-        pending push the dead lifetime left in the current sync round,
-        and never releases a round itself, so the crash/resurrect pair
-        cannot double-release a barrier.
+        The crashed lifetime leaves the exchange first
+        (``leave(failed=True)`` — exactly what a permanent death does,
+        so a mid-round crash can never deadlock the others), then the
+        fresh lifetime rejoins; ``rejoin`` withdraws any pending push
+        the dead lifetime left in the current sync round, and never
+        releases a round itself, so the crash/resurrect pair cannot
+        double-release a barrier.
         """
-        if self.ps is not None:
-            self.ps.deregister(failed=True)
+        self.exchange.leave(failed=True)
         # drop records the crashed lifetime appended past the boundary;
         # the replay re-records them (same trimming checkpoint resume
         # applies)
@@ -267,10 +277,19 @@ class NasSearch:
                 budget -= 1
             kept.append(rec)
         self.records = kept
-        ev = self.evaluators[agent_id]
-        ev.num_submitted = boundary.num_submitted
-        ev.num_cache_hits = boundary.num_cache_hits
-        ev.num_failed = boundary.num_failed
+        self._restore_agent_state(agent_id, boundary)
+        self.exchange.rejoin(agent_id)
+        emit(self.sink, RESTART, self.sim.now, agent_id,
+             boundary.iteration, cause=cause)
+
+    def _restore_agent_state(self, agent_id: int,
+                             boundary: AgentBoundary) -> None:
+        """Rewind one agent's evaluator/policy/optimizer to a boundary
+        and queue it for a boundary resume (shared by in-run
+        resurrection and checkpoint restore)."""
+        self.evaluators[agent_id].restore_counters(
+            boundary.num_submitted, boundary.num_cache_hits,
+            boundary.num_failed)
         policy = self.policies[agent_id]
         if policy is not None and boundary.policy_flat is not None:
             policy.set_flat(np.asarray(boundary.policy_flat))
@@ -280,194 +299,6 @@ class NasSearch:
         if updater is not None and boundary.lr is not None:
             updater.optimizer.lr = boundary.lr
         self._resume[agent_id] = boundary
-        if self.ps is not None:
-            self.ps.register(agent_id)
-
-    def _agent_body(self, agent_id: int):
-        cfg = self.config
-        sim = self.sim
-        evaluator = self.evaluators[agent_id]
-        policy = self.policies[agent_id]
-        updater = self.updaters[agent_id]
-        batch = cfg.allocation.workers_per_agent
-        dims = np.array(self.space.action_dims)
-        converged = False
-        # iteration boundaries feed both checkpointing and in-run
-        # resurrection; either feature being on captures them
-        capture = cfg.checkpoint_interval is not None \
-            or cfg.max_restarts > 0
-        guard = cfg.guard
-        health = (AgentHealth(guard, base_lr=cfg.lr)
-                  if updater is not None and guard is not None
-                  and guard.enabled else None)
-
-        resume = self._resume.pop(agent_id, None)
-        if resume is not None:
-            # restart at the recorded iteration boundary: restored RNG
-            # and policy re-generate the in-flight batch exactly.  For
-            # checkpoint resume sim.now is 0 and this sleeps to the
-            # boundary time; for in-run resurrection the boundary is in
-            # the past and the agent restarts immediately.
-            rng = np.random.default_rng(0)
-            rng.bit_generator.state = copy.deepcopy(resume.rng_state)
-            consecutive_cached = resume.consecutive_cached
-            iteration = resume.iteration
-            my_records = resume.num_records
-            digest = resume.traj_digest or agent_genesis(cfg.seed, agent_id)
-            self._digests[agent_id] = digest
-            yield Timeout(max(0.0, resume.time - sim.now))
-        else:
-            rng = np.random.default_rng((cfg.seed, agent_id, 0xA6E))
-            consecutive_cached = 0
-            iteration = 0
-            my_records = 0
-            digest = agent_genesis(cfg.seed, agent_id)
-            self._digests[agent_id] = digest
-            # stagger startup slightly so same-instant submissions don't
-            # all carry identical timestamps (and to model ramp-up)
-            yield Timeout(rng.uniform(0.0, 2.0))
-
-        while sim.now < cfg.wall_time:
-            if capture:
-                self._boundaries[agent_id] = AgentBoundary(
-                    time=sim.now, iteration=iteration,
-                    rng_state=copy.deepcopy(rng.bit_generator.state),
-                    policy_flat=(None if policy is None
-                                 else policy.get_flat()),
-                    opt_state=(None if updater is None
-                               else updater.optimizer.export_state()),
-                    consecutive_cached=consecutive_cached,
-                    cache_len=(len(evaluator.cache)
-                               if evaluator.cache is not None else 0),
-                    num_records=my_records,
-                    num_submitted=evaluator.num_submitted,
-                    num_cache_hits=evaluator.num_cache_hits,
-                    num_failed=evaluator.num_failed,
-                    traj_digest=digest,
-                    lr=(updater.optimizer.lr
-                        if updater is not None and guard is not None
-                        and guard.recovers else None))
-            if policy is None:  # RDM
-                actions = rng.integers(0, dims, size=(batch, len(dims)))
-                rollout = None
-            else:
-                rollout = policy.sample(batch, rng)
-                actions = rollout.actions
-            archs = [self.space.decode(row) for row in actions]
-
-            batch_done = evaluator.add_eval_batch(archs)
-            yield batch_done
-            recs = evaluator.get_finished_evals()
-
-            # align rewards with the rollout's row order
-            by_key: dict[tuple, list] = {}
-            for rec in recs:
-                by_key.setdefault(rec.arch.key, []).append(rec)
-            rewards = np.empty(len(archs))
-            for i, arch in enumerate(archs):
-                rec = by_key[arch.key].pop(0)
-                rewards[i] = rec.reward
-                self.records.append(RewardRecord(
-                    rec.end_time, agent_id, rec.arch, rec.reward,
-                    rec.result.params, rec.result.duration, rec.cached,
-                    rec.result.timed_out))
-                my_records += 1
-
-            if updater is not None:
-                if health is not None:
-                    # pre-update state is last-known-good: a poisoned
-                    # update is undone exactly by restoring it
-                    health.snapshot(iteration, policy.get_flat(),
-                                    updater.optimizer.export_state())
-                delta, stats = updater.update_delta(rollout, rewards)
-                delta, push_delta = self._inject_numeric(
-                    agent_id, iteration, policy, delta)
-                if health is not None:
-                    anomaly = health.check_update(policy.get_flat(),
-                                                  delta, stats)
-                    if anomaly is not None:
-                        if not guard.recovers:
-                            # check mode: crash the agent; the wrapper
-                            # resurrects it (or reports it) from there
-                            raise NumericalAnomaly(
-                                anomaly, f"agent{agent_id}",
-                                "numerical guard tripped (mode=check)")
-                        # recover mode: roll back to the last good
-                        # snapshot with LR backoff (escalates to a crash
-                        # once the lifetime rollback budget is spent)
-                        health.rollback(policy, updater.optimizer)
-                        self._rollbacks[agent_id] = \
-                            self._rollbacks.get(agent_id, 0) + 1
-                        # the poisoned local step is undone; contribute
-                        # nothing to the exchange this iteration
-                        delta = np.zeros_like(delta)
-                        push_delta = delta
-                if self.ps.mode == "sync":
-                    avg = yield self.ps.push_sync(push_delta, agent_id)
-                elif cfg.ps_service_time > 0.0:
-                    avg = yield self.ps.push_async_timed(push_delta)
-                else:
-                    avg = self.ps.push_async(push_delta)
-                # update_delta already applied the local delta; replace it
-                # with the parameter server's average
-                policy.add_flat(avg - delta)
-
-            # advance the agent's trajectory digest: what it sampled,
-            # what it was paid, and where its policy landed
-            digest = chain_step(digest, actions, rewards,
-                                None if policy is None
-                                else policy.get_flat())
-            self._digests[agent_id] = digest
-
-            if evaluator.last_batch_all_cached:
-                consecutive_cached += 1
-            else:
-                consecutive_cached = 0
-            iteration += 1
-            if consecutive_cached >= cfg.convergence_patience:
-                converged = True
-                break
-
-        return converged
-
-    def _inject_numeric(self, agent_id: int, iteration: int, policy,
-                        delta: np.ndarray
-                        ) -> tuple[np.ndarray, np.ndarray]:
-        """Apply this iteration's numerical fault draw, if any.
-
-        Returns ``(local_delta, push_delta)``: the delta as the agent's
-        own policy experienced it, and the (possibly separately
-        corrupted) copy sent to the parameter server.  With numerical
-        faults disabled both are the incoming delta, untouched.
-        """
-        if self.injector is None:
-            return delta, delta
-        fault = self.injector.numeric_fault(
-            agent_id, iteration, self._restarts.get(agent_id, 0))
-        if fault is None or fault.none:
-            return delta, delta
-        self.injector.num_numeric_faults += 1
-        if fault.nan_grad:
-            # a corrupted gradient buffer: the local update (already
-            # applied by update_delta) and its delta both carry NaN
-            poison = np.zeros_like(delta)
-            poison[0] = np.nan
-            policy.add_flat(poison)
-            delta = delta.copy()
-            delta[0] = np.nan
-            return delta, delta
-        if fault.exploding_loss:
-            # a diverged local policy: the update direction is real but
-            # enormously overscaled
-            factor = self.injector.config.exploding_factor
-            policy.add_flat(delta * (factor - 1.0))
-            delta = delta * factor
-            return delta, delta
-        # corrupt_delta: corruption in flight — the local policy stays
-        # healthy, only the copy pushed to the parameter server is bad
-        push_delta = delta.copy()
-        push_delta[0] = np.nan
-        return delta, push_delta
 
     # -- checkpointing --------------------------------------------------
     def _checkpoint_clock(self):
@@ -507,14 +338,13 @@ class NasSearch:
                 agent_id, done=False, converged=False,
                 boundary=boundary, cache_entries=entries))
 
-        ps_state = (self.ps.export_state()
-                    if isinstance(self.ps, ParameterServer) else None)
         ckpt = SearchCheckpoint(
             time=self.sim.now, seed=cfg.seed, method=cfg.method,
             space_name=self.space.name,
             num_agents=cfg.allocation.num_agents,
             wall_time=cfg.wall_time,
-            records=list(self.records), agents=agents, ps_state=ps_state,
+            records=list(self.records), agents=agents,
+            ps_state=self.exchange.export_state(),
             converged_agents=self._converged_agents,
             failed_agents=list(self._failed_agents),
             agent_restarts=dict(self._restarts),
@@ -522,9 +352,11 @@ class NasSearch:
         self.checkpoints.append(ckpt)
         if cfg.checkpoint_path is not None:
             ckpt.save(cfg.checkpoint_path)
+        emit(self.sink, CHECKPOINT, self.sim.now,
+             num_records=len(ckpt.records))
         return ckpt
 
-    def _apply_checkpoint(self, ckpt: SearchCheckpoint) -> None:
+    def _validate_checkpoint(self, ckpt: SearchCheckpoint) -> None:
         cfg = self.config
         if ckpt.num_agents != cfg.allocation.num_agents:
             raise ValueError(
@@ -542,6 +374,9 @@ class NasSearch:
             raise ValueError(
                 f"checkpoint seed {ckpt.seed} != config seed {cfg.seed}; "
                 f"deterministic resume requires the same seed")
+
+    def _apply_checkpoint(self, ckpt: SearchCheckpoint) -> None:
+        self._validate_checkpoint(ckpt)
         # drop records a resuming agent appended past its boundary (a
         # sync agent parked at the barrier has already recorded its
         # in-flight iteration); the replay re-records them
@@ -567,24 +402,10 @@ class NasSearch:
                 if agent.traj_digest:
                     self._digests[agent.agent_id] = agent.traj_digest
                 continue
-            boundary = agent.boundary
-            if boundary is None:
+            if agent.boundary is None:
                 continue            # starts fresh, deterministically
-            self._resume[agent.agent_id] = boundary
-            ev.num_submitted = boundary.num_submitted
-            ev.num_cache_hits = boundary.num_cache_hits
-            ev.num_failed = boundary.num_failed
-            policy = self.policies[agent.agent_id]
-            if policy is not None and boundary.policy_flat is not None:
-                policy.set_flat(np.asarray(boundary.policy_flat))
-            updater = self.updaters[agent.agent_id]
-            if updater is not None and boundary.opt_state is not None:
-                updater.optimizer.restore_state(boundary.opt_state)
-            if updater is not None and boundary.lr is not None:
-                updater.optimizer.lr = boundary.lr
-        if ckpt.ps_state is not None and isinstance(self.ps,
-                                                    ParameterServer):
-            self.ps.restore_state(ckpt.ps_state)
+            self._restore_agent_state(agent.agent_id, agent.boundary)
+        self.exchange.restore_state(ckpt.ps_state)
 
 
 def run_search(space: Structure, reward_model: RewardModel,

@@ -1,0 +1,146 @@
+"""Backend-parity: the same seeded job stream through the serial,
+thread, and simulated-Balsam backends yields identical rewards,
+identical broker accounting, and an identical search fingerprint.
+
+This is the contract the broker refactor exists to enforce: all three
+backends share one front-end (cache, counters, failure conversion), so
+only *when* an evaluation completes may differ — never *what* it is
+worth.  Rewards are aligned by architecture within each batch (the
+thread pool completes out of order) and chained into a digest exactly
+the way the search loop fingerprints trajectories; end-to-end wall
+clock vs. virtual time cancels out because the digest hashes actions
+and rewards, never timestamps.
+"""
+
+import numpy as np
+import pytest
+
+from repro.evaluator import (BalsamEvaluator, BalsamService, SerialEvaluator,
+                             ThreadEvaluator)
+from repro.hpc import TrainingCostModel
+from repro.hpc.cluster import Cluster
+from repro.hpc.sim import Simulator
+from repro.nas.spaces import combo_small
+from repro.problems.combo import COMBO_PAPER_SHAPES, combo_head
+from repro.rewards import SurrogateReward
+from repro.verify.fingerprint import agent_genesis, chain_step
+
+AGENT_ID = 2
+NUM_BATCHES = 6
+BATCH = 4
+
+
+@pytest.fixture(scope="module")
+def space():
+    return combo_small()
+
+
+@pytest.fixture(scope="module")
+def batches(space):
+    """A seeded stream of action batches; the last repeats the first so
+    every backend must exercise its cache path identically."""
+    rng = np.random.default_rng(123)
+    dims = np.array(space.action_dims)
+    out = [rng.integers(0, dims, size=(BATCH, len(dims)))
+           for _ in range(NUM_BATCHES - 1)]
+    out.append(out[0].copy())
+    return out
+
+
+def make_surrogate(space):
+    return SurrogateReward(space, COMBO_PAPER_SHAPES, combo_head(),
+                           TrainingCostModel.combo_paper(), epochs=1,
+                           train_fraction=0.1, timeout=600.0, seed=7)
+
+
+def aligned_rewards(archs, recs):
+    """Rewards in batch row order, the way the agent loop aligns them."""
+    by_key = {}
+    for rec in recs:
+        by_key.setdefault(rec.arch.key, []).append(rec)
+    return np.array([by_key[a.key].pop(0).reward for a in archs])
+
+
+def stream_digest(space, batches, reward_batches):
+    digest = agent_genesis(0, AGENT_ID)
+    for actions, rewards in zip(batches, reward_batches):
+        digest = chain_step(digest, actions, rewards, None)
+    return digest
+
+
+def drive_inline(evaluator, space, batches):
+    """Serial/thread backends: submit, barrier, drain — per batch."""
+    reward_batches = []
+    with evaluator as ev:
+        for actions in batches:
+            archs = [space.decode(row) for row in actions]
+            ev.add_eval_batch(archs)
+            ev.wait_all()
+            reward_batches.append(aligned_rewards(archs,
+                                                  ev.get_finished_evals()))
+    return reward_batches
+
+
+def drive_balsam(space, batches):
+    """Balsam backend: the same stream as a simulator coroutine."""
+    sim = Simulator()
+    cluster = Cluster(sim, BATCH)
+    service = BalsamService(sim, cluster)
+    ev = BalsamEvaluator(service, make_surrogate(space), AGENT_ID)
+    reward_batches = []
+
+    def agent():
+        for actions in batches:
+            archs = [space.decode(row) for row in actions]
+            done = ev.add_eval_batch(archs)
+            yield done
+            reward_batches.append(aligned_rewards(archs,
+                                                  ev.get_finished_evals()))
+
+    sim.process(agent(), name="agent")
+    sim.run()
+    return ev, reward_batches
+
+
+@pytest.fixture(scope="module")
+def runs(space, batches):
+    serial = SerialEvaluator(make_surrogate(space), AGENT_ID)
+    serial_rewards = drive_inline(serial, space, batches)
+    thread = ThreadEvaluator(make_surrogate(space), AGENT_ID, max_workers=3)
+    thread_rewards = drive_inline(thread, space, batches)
+    balsam, balsam_rewards = drive_balsam(space, batches)
+    return {"serial": (serial, serial_rewards),
+            "thread": (thread, thread_rewards),
+            "balsam": (balsam, balsam_rewards)}
+
+
+class TestBackendParity:
+    def test_identical_rewards_per_batch(self, runs):
+        _, serial_rewards = runs["serial"]
+        for name in ("thread", "balsam"):
+            _, rewards = runs[name]
+            for i, (a, b) in enumerate(zip(serial_rewards, rewards)):
+                assert np.array_equal(a, b), f"{name} batch {i} diverged"
+
+    def test_identical_fingerprints(self, space, batches, runs):
+        digests = {name: stream_digest(space, batches, rewards)
+                   for name, (_, rewards) in runs.items()}
+        assert digests["serial"] == digests["thread"] == digests["balsam"]
+
+    def test_identical_broker_accounting(self, runs):
+        counters = {name: (ev.num_submitted, ev.num_cache_hits,
+                           ev.num_failed)
+                    for name, (ev, _) in runs.items()}
+        assert counters["serial"] == counters["thread"] == counters["balsam"]
+        # the repeated batch must have been answered from the cache
+        assert counters["serial"][1] >= BATCH
+
+    def test_identical_cache_tallies(self, runs):
+        tallies = {name: (ev.cache.hits, ev.cache.misses, len(ev.cache))
+                   for name, (ev, _) in runs.items()}
+        assert tallies["serial"] == tallies["thread"] == tallies["balsam"]
+
+    def test_all_cached_flag_parity(self, runs):
+        flags = {name: ev.last_batch_all_cached
+                 for name, (ev, _) in runs.items()}
+        assert flags["serial"] == flags["thread"] == flags["balsam"] is True
