@@ -4,7 +4,10 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-fast lint smoke chaos verify bench bench-quick
+.PHONY: test test-fast lint smoke chaos verify bench bench-quick bench-check
+
+## label recorded with each 'make bench' entry in BENCH_substrate.json
+BENCH_LABEL ?= dev
 
 ## full tier-1 test suite
 test:
@@ -34,10 +37,11 @@ lint:
 	fi
 
 ## substrate smoke check: lint gate + core NN/RL tests + one quick
-## benchmark pass
+## benchmark pass + the bench regression gate over BENCH_substrate.json
 smoke: lint
 	$(PYTHON) -m repro.perf --help >/dev/null  # import sanity
 	$(PYTHON) -c "import sys; from repro.perf import smoke; sys.exit(smoke([]))"
+	$(PYTHON) tools/check_bench.py
 
 ## fault-matrix smoke: seeded fault injection at several failure rates,
 ## bounded reward degradation, plus the numerical health-layer profile
@@ -47,10 +51,17 @@ chaos:
 	$(PYTHON) -m repro.search.chaos --profile all
 	$(PYTHON) -m pytest -q -m "chaos or health"
 
-## record substrate baselines into BENCH_substrate.json
+## record substrate baselines into BENCH_substrate.json (labeled entry),
+## then run the regression gate over the updated history
 bench:
-	$(PYTHON) benchmarks/bench_baseline.py
+	$(PYTHON) benchmarks/bench_baseline.py --label "$(BENCH_LABEL)"
+	$(PYTHON) tools/check_bench.py
 
 ## print timings without writing the JSON file
 bench-quick:
 	$(PYTHON) benchmarks/bench_baseline.py --quick --no-write
+
+## fail when the latest BENCH_substrate.json entry regresses any tracked
+## kernel by >15% vs. the best prior entry
+bench-check:
+	$(PYTHON) tools/check_bench.py

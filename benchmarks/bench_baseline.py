@@ -33,10 +33,13 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--output", default=str(ROOT / "BENCH_substrate.json"),
                         help="results file (default: repo-root "
                              "BENCH_substrate.json)")
+    parser.add_argument("--label", default=None,
+                        help="name this entry in the results file "
+                             "(see BENCH_LABEL in the Makefile)")
     args = parser.parse_args(argv)
     results = run_suite(repeats=5 if args.quick else 30)
     if not args.no_write:
-        write_results(args.output, results)
+        write_results(args.output, results, label=args.label)
     return 0
 
 

@@ -7,12 +7,16 @@ guard the performance of the pieces every experiment is built on.
 
 import numpy as np
 
+from repro.hpc import NodeAllocation, TrainingCostModel
 from repro.hpc.sim import Simulator, Timeout
 from repro.nas.builder import build_model, compile_architecture
+from repro.nas.plancache import PlanCache
 from repro.nas.spaces import combo_small
 from repro.nn import Adam, Dense, FlatAdam, GraphModel, Trainer
 from repro.problems.combo import COMBO_PAPER_SHAPES, combo_head
+from repro.rewards import SurrogateReward
 from repro.rl import LSTMPolicy, PPOUpdater
+from repro.search import SearchConfig, run_search
 
 
 def _dense_model(dtype):
@@ -91,6 +95,52 @@ def bench_ppo_update(benchmark):
         updater.update(rollout, rewards)
 
     benchmark(update)
+
+
+def bench_lstm_policy_step(benchmark):
+    """One autoregressive rollout: horizon fused LSTM steps + sampling."""
+    space = combo_small()
+    policy = LSTMPolicy(space.action_dims, seed=0)
+    rng = np.random.default_rng(0)
+
+    rollout = benchmark(lambda: policy.sample(11, rng))
+    assert rollout.actions.shape[0] == 11
+
+
+def bench_plan_cache_hit(benchmark):
+    """Warm-cache plan lookups for the 20 archs of bench_compile."""
+    space = combo_small()
+    head = combo_head()
+    cache = PlanCache()
+    rng = np.random.default_rng(0)
+    archs = [space.random_architecture(rng) for _ in range(20)]
+    for a in archs:
+        cache.get_or_compile(space, a.choices, COMBO_PAPER_SHAPES, head)
+
+    def hit_batch():
+        return [cache.get_or_compile(space, a.choices, COMBO_PAPER_SHAPES,
+                                     head) for a in archs]
+
+    plans = benchmark(hit_batch)
+    assert all(p.total_params >= 0 for p in plans)
+    assert cache.stats()["misses"] == 20  # everything after warmup hit
+
+
+def bench_search_iteration(benchmark):
+    """Short end-to-end a3c surrogate search through the runner stack."""
+    space = combo_small()
+    cfg = SearchConfig(method="a3c", allocation=NodeAllocation(32, 4, 3),
+                       wall_time=20 * 60.0, seed=1)
+
+    def iteration():
+        reward = SurrogateReward(space, COMBO_PAPER_SHAPES, combo_head(),
+                                 TrainingCostModel.combo_paper(),
+                                 epochs=1, train_fraction=0.1,
+                                 timeout=600.0, log_params_opt=6.5, seed=7)
+        return run_search(space, reward, cfg)
+
+    res = benchmark(iteration)
+    assert res.num_evaluations > 0
 
 
 def bench_des_event_throughput(benchmark):

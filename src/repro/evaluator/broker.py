@@ -12,14 +12,23 @@ the simulated Balsam service — and can no longer drift apart on the
 shared bookkeeping they used to each reimplement.
 
 The broker also emits the structured event stream (``submit``,
-``cache-hit``, ``eval-done``) to an optional :mod:`repro.events` sink.
+``batch-stats``, ``cache-hit``, ``eval-done``) to an optional
+:mod:`repro.events` sink.
+
+When the reward model carries a shared
+:class:`~repro.nas.plancache.PlanCache`, the broker *gathers* each
+batch against it: the K pending evaluations are deduplicated by
+architecture key and every distinct architecture's plan is prefetched
+(compiled once, shared across agents) before dispatch, with the
+gather's hit/miss/isomorphism statistics surfaced as a ``batch-stats``
+event.
 """
 
 from __future__ import annotations
 
 import time
 
-from ..events import CACHE_HIT, EVAL_DONE, SUBMIT, EventSink, emit
+from ..events import BATCH_STATS, CACHE_HIT, EVAL_DONE, SUBMIT, EventSink, emit
 from ..nas.arch import Architecture
 from ..rewards.base import EvalResult, RewardModel
 from .base import EvalRecord, Evaluator
@@ -65,17 +74,37 @@ class EvalBroker(Evaluator):
     """
 
     def __init__(self, agent_id: int = 0, use_cache: bool = True,
-                 clock=time.monotonic, sink: EventSink | None = None) -> None:
+                 clock=time.monotonic, sink: EventSink | None = None,
+                 plan_source: RewardModel | None = None) -> None:
         super().__init__(agent_id)
         self.cache = EvalCache() if use_cache else None
         self.clock = clock
         self.sink = sink
+        #: reward model whose plan cache batches warm (None = no gather)
+        self.plan_source = plan_source
         self._finished: list[EvalRecord] = []
 
     # -- shared bookkeeping -------------------------------------------
     def _begin_batch(self, archs: list[Architecture]) -> None:
         emit(self.sink, SUBMIT, self.clock(), self.agent_id,
              count=len(archs))
+        source = self.plan_source
+        plan_cache = getattr(source, "plan_cache", None)
+        if plan_cache is None or not archs:
+            return
+        # batched gather: compile each distinct architecture once, up
+        # front, so dispatch hits warm plans (prefetch_plan never
+        # raises — invalid architectures fail at execution time)
+        distinct = {arch.key: arch for arch in archs}
+        before = plan_cache.stats()
+        for arch in distinct.values():
+            source.prefetch_plan(arch)
+        after = plan_cache.stats()
+        emit(self.sink, BATCH_STATS, self.clock(), self.agent_id,
+             batch=len(archs), distinct=len(distinct),
+             plan_hits=after["hits"] - before["hits"],
+             plan_misses=after["misses"] - before["misses"],
+             iso_hits=after["iso_hits"] - before["iso_hits"])
 
     def _cache_hit(self, arch: Architecture, submit_time: float) -> bool:
         """Cache short-circuit: on a hit, record + count + emit.

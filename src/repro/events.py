@@ -18,14 +18,18 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 __all__ = [
-    "SUBMIT", "EVAL_DONE", "CACHE_HIT", "PUSH", "BARRIER", "ROLLBACK",
-    "RESTART", "CHECKPOINT", "CRASH", "AGENT_DONE", "EVENT_KINDS",
-    "SearchEvent", "EventSink", "NullSink", "RecordingSink",
+    "SUBMIT", "BATCH_STATS", "EVAL_DONE", "CACHE_HIT", "PUSH", "BARRIER",
+    "ROLLBACK", "RESTART", "CHECKPOINT", "CRASH", "AGENT_DONE",
+    "EVENT_KINDS", "SearchEvent", "EventSink", "NullSink", "RecordingSink",
     "CallbackSink", "TeeSink", "emit",
 ]
 
 #: a batch of architectures entered the evaluation broker
 SUBMIT = "submit"
+#: the broker gathered a batch against the shared plan cache; payload
+#: carries the batch size, distinct-architecture count, and the plan
+#: hit / miss / isomorphism-hit deltas of the gather
+BATCH_STATS = "batch-stats"
 #: one evaluation finished (real or failed — see ``payload["failed"]``)
 EVAL_DONE = "eval-done"
 #: an architecture was answered from the agent-local cache
@@ -45,8 +49,8 @@ CRASH = "crash"
 #: an agent finished (converged, wall-time, or post-crash accounting)
 AGENT_DONE = "agent-done"
 
-EVENT_KINDS = (SUBMIT, EVAL_DONE, CACHE_HIT, PUSH, BARRIER, ROLLBACK,
-               RESTART, CHECKPOINT, CRASH, AGENT_DONE)
+EVENT_KINDS = (SUBMIT, BATCH_STATS, EVAL_DONE, CACHE_HIT, PUSH, BARRIER,
+               ROLLBACK, RESTART, CHECKPOINT, CRASH, AGENT_DONE)
 
 
 @dataclass(frozen=True)

@@ -9,6 +9,7 @@ from .arch import Architecture
 from .builder import (Plan, PlanNode, build_model, compile_architecture,
                       count_parameters)
 from .nodes import ConstantNode, MirrorNode, Node, VariableNode
+from .plancache import PlanCache, plan_signature
 from .ops import (ActivationOp, AddOp, ConnectOp, Conv1DOp, DenseOp,
                   DropoutOp, IdentityOp, MaxPooling1DOp, Operation)
 from .space import Block, Cell, Structure
@@ -17,7 +18,8 @@ from .visualize import render_plan, render_space
 __all__ = [
     "ActivationOp", "AddOp", "Architecture", "Block", "Cell", "ConnectOp",
     "ConstantNode", "Conv1DOp", "DenseOp", "DropoutOp", "IdentityOp",
-    "MaxPooling1DOp", "MirrorNode", "Node", "Operation", "Plan", "PlanNode",
-    "Structure", "VariableNode", "build_model", "compile_architecture",
-    "count_parameters", "render_plan", "render_space",
+    "MaxPooling1DOp", "MirrorNode", "Node", "Operation", "Plan", "PlanCache",
+    "PlanNode", "Structure", "VariableNode", "build_model",
+    "compile_architecture", "count_parameters", "plan_signature",
+    "render_plan", "render_space",
 ]

@@ -1,0 +1,177 @@
+"""Isomorphism-keyed cache of compiled architecture plans.
+
+At paper scale the same architectures are compiled over and over: every
+agent re-derives plans the others already walked (the surrogate's reward
+landscape funnels all agents toward the same region), and a converged
+search resubmits one architecture thousands of times.  A
+:class:`~repro.nas.builder.Plan` is a pure function of (structure,
+choices, input shapes, head ops) and is never mutated after compilation
+— ``materialize`` draws fresh weights each call — so plans can be shared
+freely across agents and iterations.
+
+The cache has two levels:
+
+* an **exact** map from ``(space name, choice tuple)`` to the compiled
+  plan — the common fast path (``hits``);
+* a **canonical** map from :func:`plan_signature` — a topology hash
+  invariant under node renaming — to the first plan compiled with that
+  structure (``iso_hits``).  Distinct action sequences can decode to
+  structurally identical networks (e.g. variable nodes whose option
+  lists repeat an operation, or choices that only differ inside
+  dead branches of the plan); the second level makes all of them alias
+  one plan object, so downstream memoization and materialization warm
+  up once per *structure*, not once per *action sequence*.
+
+Cache state intentionally stays out of checkpoint files: plans are
+recomputable, so :meth:`PlanCache.snapshot` captures only the keys and
+counters and :meth:`PlanCache.restore` recompiles — bit-identical by
+construction.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+from .builder import Plan, compile_architecture
+from .ops import Operation
+from .space import Structure
+
+__all__ = ["PlanCache", "plan_signature"]
+
+Shape = tuple[int, ...]
+
+
+def _op_token(op: Operation | None) -> str | None:
+    """Stable serialization of an operation, mirroring the identity that
+    ``Operation.__eq__`` defines: type plus constructor state."""
+    if op is None:
+        return None
+    state = ",".join(f"{k}={v!r}" for k, v in sorted(op.__dict__.items()))
+    return f"{type(op).__name__}({state})"
+
+
+def plan_signature(plan: Plan) -> str:
+    """Canonical topology hash of a plan, invariant under node renaming.
+
+    Nodes are renamed by their (topological) emission order and inputs
+    by sorted name, so two plans are assigned the same signature exactly
+    when they are the same DAG of the same operations over the same
+    shapes — regardless of which action sequence produced them.
+    """
+    rename = {name: f"i{k}" for k, name in enumerate(sorted(plan.input_shapes))}
+    for idx, node in enumerate(plan.nodes):
+        rename[node.name] = f"n{idx}"
+    payload = {
+        "inputs": [[rename[name], list(plan.input_shapes[name])]
+                   for name in sorted(plan.input_shapes)],
+        "nodes": [[n.kind, [rename[i] for i in n.inputs], list(n.out_shape),
+                   n.params, _op_token(n.op),
+                   rename[n.share_of] if n.share_of else None]
+                  for n in plan.nodes],
+        "output": rename[plan.output],
+    }
+    blob = json.dumps(payload, separators=(",", ":")).encode()
+    return hashlib.sha256(blob).hexdigest()
+
+
+class PlanCache:
+    """Shared compile cache; see the module docstring for the design.
+
+    One instance is shared by every agent of a search (plans are
+    immutable, so sharing is safe); the search runtime attaches it to
+    the reward model via
+    :meth:`~repro.rewards.base.RewardModel.set_plan_cache`.
+    """
+
+    def __init__(self, max_entries: int = 100_000) -> None:
+        if max_entries <= 0:
+            raise ValueError("max_entries must be positive")
+        self.max_entries = max_entries
+        self._plans: dict[tuple, Plan] = {}
+        self._by_sig: dict[str, Plan] = {}
+        #: exact-key lookups answered without compiling
+        self.hits = 0
+        #: lookups that had to compile
+        self.misses = 0
+        #: compiles whose plan turned out isomorphic to a cached one and
+        #: was aliased to it (subset of ``misses``)
+        self.iso_hits = 0
+
+    def __len__(self) -> int:
+        return len(self._plans)
+
+    def stats(self) -> dict[str, int]:
+        return {"entries": len(self._plans), "unique_plans": len(self._by_sig),
+                "hits": self.hits, "misses": self.misses,
+                "iso_hits": self.iso_hits}
+
+    def clear(self) -> None:
+        self._plans.clear()
+        self._by_sig.clear()
+
+    # -- the one lookup path -------------------------------------------
+    def get_or_compile(self, structure: Structure, choices,
+                       input_shapes: dict[str, Shape],
+                       head_ops=None) -> Plan:
+        """The cached equivalent of
+        :func:`~repro.nas.builder.compile_architecture`.
+
+        Compile errors (invalid architectures) propagate and are never
+        cached, so a failing architecture stays re-attemptable — the
+        same rule the evaluation broker applies to failure rewards.
+        """
+        key = (structure.name, tuple(int(c) for c in choices))
+        plan = self._plans.get(key)
+        if plan is not None:
+            self.hits += 1
+            return plan
+        self.misses += 1
+        plan = compile_architecture(structure, choices, input_shapes,
+                                    head_ops)
+        if len(self._plans) >= self.max_entries:  # bound memory at scale
+            self.clear()
+        return self._insert(key, plan)
+
+    def _insert(self, key: tuple, plan: Plan) -> Plan:
+        sig = plan_signature(plan)
+        canonical = self._by_sig.get(sig)
+        if canonical is not None:
+            plan = canonical
+            self.iso_hits += 1
+        else:
+            self._by_sig[sig] = plan
+        self._plans[key] = plan
+        return plan
+
+    # -- checkpoint support --------------------------------------------
+    def snapshot(self) -> dict:
+        """Keys + counters only — plans are recomputable and never enter
+        checkpoint files (the v1 wire format stays untouched)."""
+        return {"keys": [[space, list(choices)]
+                         for space, choices in self._plans],
+                "hits": self.hits, "misses": self.misses,
+                "iso_hits": self.iso_hits}
+
+    def restore(self, snapshot: dict, structure: Structure,
+                input_shapes: dict[str, Shape], head_ops=None) -> None:
+        """Rebuild the cache from a :meth:`snapshot` by recompiling.
+
+        Compilation is deterministic, so the restored plans — including
+        the isomorphism aliasing — are bit-identical to the originals.
+        Keys of other structures (shared cache, multi-space snapshots)
+        are skipped; counters are restored exactly as captured.
+        """
+        self.clear()
+        for space_name, choices in snapshot["keys"]:
+            if space_name != structure.name:
+                continue
+            key = (space_name, tuple(int(c) for c in choices))
+            plan = compile_architecture(structure, key[1], input_shapes,
+                                        head_ops)
+            self._insert(key, plan)
+        # _insert bumps iso_hits while rebuilding; the captured counters
+        # are authoritative
+        self.hits = int(snapshot["hits"])
+        self.misses = int(snapshot["misses"])
+        self.iso_hits = int(snapshot["iso_hits"])

@@ -6,16 +6,20 @@ The paper's NT3 benchmark traverses long RNA-seq gene-expression vectors
 
 Per-sample feature shapes are ``(length, channels)``.  Convolution uses
 ``valid`` padding, matching the Keras default the paper's software relied
-on.  The implementation is vectorized via
-:func:`numpy.lib.stride_tricks.sliding_window_view` (windows are views, no
-copies) with a single einsum per pass, per the HPC guide's
-vectorize-don't-loop rule; the only Python loop is over the kernel taps in
-the input-gradient scatter, which is O(kernel_size) regardless of data
-size.
+on.  The implementation is an im2col/GEMM formulation: the strided
+windows from :func:`numpy.lib.stride_tricks.sliding_window_view` are
+copied once into a pooled contiguous ``(B·L', K·C)`` column matrix laid
+out so the weight tensor reshapes to ``(K·C, F)`` with no transpose.
+Each pass is then a single matmul — forward ``cols @ w``, weight gradient
+``colsᵀ @ g``, and the input gradient one matmul ``g @ wᵀ`` back to
+per-window tap gradients followed by K strided in-place adds (no per-tap
+GEMM or temporaries, O(kernel_size) Python regardless of data size).
 
-Backward-pass scratch arrays are allocated in the incoming gradient's
-dtype (so a float32 model stays float32 end to end) and are pooled and
-reused across batches when the layer runs under an execution plan.
+Scratch arrays (columns, gradients) are allocated in the operand dtype
+(so a float32 model stays float32 end to end) and are pooled and reused
+across batches when the layer runs under an execution plan; the pool
+keys on the full shape, so a smaller final batch gets its own buffers
+instead of corrupting the steady-state ones.
 """
 
 from __future__ import annotations
@@ -52,7 +56,7 @@ class Conv1D(Layer):
         self.activation = activation
         self.w: Parameter | None = None
         self.b: Parameter | None = None
-        self._win: np.ndarray | None = None
+        self._cols: np.ndarray | None = None
         self._pre: np.ndarray | None = None
         self._out: np.ndarray | None = None
         self._in_len = 0
@@ -79,32 +83,50 @@ class Conv1D(Layer):
         win = sliding_window_view(x, self.kernel_size, axis=1)  # (B, L', C, K)
         if self.strides > 1:
             win = win[:, ::self.strides]
-        self._win = win
         w, b = self.w.value, self.b.value
+        batch, out_len = x.shape[0], win.shape[1]
+        ksz, channels, filters = self.kernel_size, w.shape[1], self.filters
+        # im2col: one contiguous copy in (K, C) minor order, so the
+        # weight tensor reshapes to (K*C, F) without a transpose
+        cols = self._scratch("cols", (batch, out_len, ksz, channels), x.dtype)
+        np.copyto(cols, win.transpose(0, 1, 3, 2))
+        self._cols = cols
+        cols2d = cols.reshape(batch * out_len, ksz * channels)
+        w2d = w.reshape(ksz * channels, filters)
         if (self._pool is not None and x.dtype == w.dtype
                 and (self.activation != "linear" or self._reuse_out)):
-            pre = self._scratch("pre", (x.shape[0], win.shape[1], self.filters),
-                                w.dtype)
-            np.einsum("blck,kcf->blf", win, w, out=pre)
+            pre = self._scratch("pre", (batch, out_len, filters), w.dtype)
+            np.matmul(cols2d, w2d, out=pre.reshape(batch * out_len, filters))
             pre += b
         else:
-            pre = np.einsum("blck,kcf->blf", win, w) + b
+            pre = (cols2d @ w2d).reshape(batch, out_len, filters) + b
         self._pre = pre
         self._out = _forward_activation(self, pre)
         return self._out
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
         grad_pre = _backward_activation(self, grad_out)
-        self.w.grad += np.einsum("blck,blf->kcf", self._win, grad_pre)
-        self.b.grad += grad_pre.sum(axis=(0, 1))
-        batch, out_len, _ = grad_pre.shape
-        channels = self.w.shape[1]
+        batch, out_len, filters = grad_pre.shape
+        ksz, channels = self.kernel_size, self.w.shape[1]
+        cols2d = self._cols.reshape(batch * out_len, ksz * channels)
+        g2d = grad_pre.reshape(batch * out_len, filters)
+        self.w.grad += (cols2d.T @ g2d).reshape(ksz, channels, filters)
+        self.b.grad += g2d.sum(axis=0)
+        # input gradient: one GEMM back to per-window tap gradients...
+        w2d = self.w.value.reshape(ksz * channels, filters)
+        if grad_pre.dtype == w2d.dtype:
+            dcols = self._scratch("dcols", (batch, out_len, ksz, channels),
+                                  grad_pre.dtype)
+            np.matmul(g2d, w2d.T,
+                      out=dcols.reshape(batch * out_len, ksz * channels))
+        else:
+            dcols = (g2d @ w2d.T).reshape(batch, out_len, ksz, channels)
+        # ...then K strided in-place adds (window l covers input k + s*l)
         grad_in = self._scratch("grad_in", (batch, self._in_len, channels),
                                 grad_pre.dtype, zero=True)
         s = self.strides
-        for k in range(self.kernel_size):
-            # window l covers input position k + s*l
-            grad_in[:, k:k + s * out_len:s, :] += grad_pre @ self.w.value[k].T
+        for k in range(ksz):
+            grad_in[:, k:k + s * out_len:s, :] += dcols[:, :, k, :]
         return grad_in
 
     def parameters(self) -> list[Parameter]:
@@ -116,6 +138,12 @@ class MaxPooling1D(Layer):
 
     A trailing remainder shorter than ``pool_size`` is dropped, matching
     ``valid`` padding.
+
+    ``pool_size == 2`` (the NT3 search space's configuration) takes a
+    branchless fast path: the max is one elementwise ``maximum`` over the
+    even/odd slices and the backward routing mask is recomputed from the
+    saved input with ``>=`` — which routes ties to the first window
+    element, exactly like the general ``argmax`` path.
     """
 
     def __init__(self, pool_size: int, name: str = "") -> None:
@@ -124,6 +152,7 @@ class MaxPooling1D(Layer):
             raise ValueError("pool_size must be positive")
         self.pool_size = pool_size
         self._argmax: np.ndarray | None = None
+        self._x: np.ndarray | None = None
         self._in_shape: tuple[int, ...] | None = None
 
     def build(self, input_shape: tuple[int, ...], rng: np.random.Generator) -> tuple[int, ...]:
@@ -144,6 +173,14 @@ class MaxPooling1D(Layer):
         p = self.pool_size
         out_len = length // p
         self._in_shape = x.shape
+        if p == 2:
+            self._x = x
+            if self._pool is not None and self._reuse_out:
+                out = self._scratch("out", (batch, out_len, channels), x.dtype)
+            else:
+                out = np.empty((batch, out_len, channels), dtype=x.dtype)
+            np.maximum(x[:, 0:out_len * 2:2], x[:, 1:out_len * 2:2], out=out)
+            return out
         xr = x[:, :out_len * p].reshape(batch, out_len, p, channels)
         self._argmax = xr.argmax(axis=2)
         return xr.max(axis=2)
@@ -153,9 +190,15 @@ class MaxPooling1D(Layer):
         p = self.pool_size
         out_len = length // p
         grad_r = self._scratch("grad_r", (batch, out_len, p, channels),
-                               grad_out.dtype, zero=True)
-        b_idx, l_idx, c_idx = np.ogrid[:batch, :out_len, :channels]
-        grad_r[b_idx, l_idx, self._argmax, c_idx] = grad_out
+                               grad_out.dtype, zero=p != 2)
+        if p == 2:
+            # first-element winners (>= routes ties left, like argmax)
+            mask = self._x[:, 0:out_len * 2:2] >= self._x[:, 1:out_len * 2:2]
+            np.multiply(grad_out, mask, out=grad_r[:, :, 0, :])
+            np.subtract(grad_out, grad_r[:, :, 0, :], out=grad_r[:, :, 1, :])
+        else:
+            b_idx, l_idx, c_idx = np.ogrid[:batch, :out_len, :channels]
+            grad_r[b_idx, l_idx, self._argmax, c_idx] = grad_out
         grad_in = self._scratch("grad_in", (batch, length, channels),
                                 grad_out.dtype)
         grad_in[:, :out_len * p] = grad_r.reshape(batch, out_len * p, channels)

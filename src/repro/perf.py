@@ -8,8 +8,10 @@ baselines.  This module provides:
 * :func:`run_suite` — timed micro-benchmarks of the dense training step
   (the reward-estimation inner loop) in both the compiled float32 default
   configuration and the seed-equivalent float64 per-parameter
-  configuration, plus Conv1D forward+backward, a PPO update, and
-  architecture compilation.
+  configuration, plus Conv1D forward+backward, a PPO update, an LSTM
+  policy rollout, architecture compilation (cold and through a warm
+  :class:`~repro.nas.plancache.PlanCache`), and one short end-to-end
+  surrogate search through the full runner stack.
 * :func:`write_results` / :func:`main` — the ``repro-bench`` console
   entry point; appends one timestamped record per run to
   ``BENCH_substrate.json`` so before/after numbers live in the repo.
@@ -144,6 +146,80 @@ def _compile_batch():
                     for a in archs]
 
 
+def _machine_calibration():
+    # fixed, repo-independent GEMM + elementwise mix: measures how fast
+    # *this machine, right now* runs the kind of work the suite times.
+    # Recorded with every entry so the regression gate can compare
+    # normalized (best_ms / calibration) across entries — on shared
+    # containers the absolute numbers drift 20-30% day to day
+    rng = np.random.default_rng(0)
+    a = rng.standard_normal((256, 256)).astype(np.float32)
+    b = rng.standard_normal((256, 256)).astype(np.float32)
+
+    def fn():
+        c = a @ b
+        np.tanh(c, out=c)
+        c += a
+        return c @ b
+
+    return fn
+
+
+def _lstm_policy_step():
+    # one full autoregressive rollout: horizon fused LSTM steps + head
+    # GEMM + masked softmax sampling, at the paper's per-agent batch of 11
+    from repro.nas.spaces import combo_small
+    from repro.rl import LSTMPolicy
+
+    space = combo_small()
+    policy = LSTMPolicy(space.action_dims, seed=0)
+    rng = np.random.default_rng(0)
+    return lambda: policy.sample(11, rng)
+
+
+def _plan_cache_hit():
+    # warm-cache lookups for the same 20 architectures compiled by
+    # compile_architecture_x20; the ratio of the two is the cache payoff
+    from repro.nas.plancache import PlanCache
+    from repro.nas.spaces import combo_small
+    from repro.problems.combo import COMBO_PAPER_SHAPES, combo_head
+
+    space = combo_small()
+    head = combo_head()
+    cache = PlanCache()
+    rng = np.random.default_rng(0)
+    archs = [space.random_architecture(rng) for _ in range(20)]
+    for a in archs:
+        cache.get_or_compile(space, a.choices, COMBO_PAPER_SHAPES, head)
+    return lambda: [cache.get_or_compile(space, a.choices,
+                                         COMBO_PAPER_SHAPES, head)
+                    for a in archs]
+
+
+def _search_iteration():
+    # end to end: a short a3c surrogate search (4 agents x 3 workers, 20
+    # virtual minutes) through the full runner/broker/exchange stack,
+    # with a cold reward model (and plan cache) per call
+    from repro.hpc import NodeAllocation, TrainingCostModel
+    from repro.nas.spaces import combo_small
+    from repro.problems.combo import COMBO_PAPER_SHAPES, combo_head
+    from repro.rewards import SurrogateReward
+    from repro.search import SearchConfig, run_search
+
+    space = combo_small()
+    cfg = SearchConfig(method="a3c", allocation=NodeAllocation(32, 4, 3),
+                       wall_time=20 * 60.0, seed=1)
+
+    def iteration():
+        reward = SurrogateReward(space, COMBO_PAPER_SHAPES, combo_head(),
+                                 TrainingCostModel.combo_paper(),
+                                 epochs=1, train_fraction=0.1,
+                                 timeout=600.0, log_params_opt=6.5, seed=7)
+        return run_search(space, reward, cfg)
+
+    return iteration
+
+
 def run_suite(repeats: int = 30) -> dict:
     """Run every benchmark; returns ``{name: timing dict}``.
 
@@ -153,16 +229,24 @@ def run_suite(repeats: int = 30) -> dict:
     fused flat Adam); their ratio is the substrate speedup.
     """
     suite = {
+        "machine_calibration": _machine_calibration(),
         "dense_train_step": _dense_step(np.float32, fused=True),
         "dense_train_step_float64_unfused": _dense_step(np.float64,
                                                         fused=False),
         "conv1d_fwd_bwd": _conv_fwd_bwd(np.float32),
         "ppo_update": _ppo_update(),
+        "lstm_policy_step": _lstm_policy_step(),
         "compile_architecture_x20": _compile_batch(),
+        "plan_cache_hit_x20": _plan_cache_hit(),
+        "search_iteration": _search_iteration(),
     }
+    # the end-to-end search is ~100x a micro-benchmark call; fewer
+    # repeats keep 'make bench' under a minute without losing best_ms
+    slow_repeats = {"search_iteration": max(3, repeats // 5)}
     results = {}
     for name, fn in suite.items():
-        results[name] = time_callable(fn, repeats=repeats)
+        results[name] = time_callable(fn, repeats=slow_repeats.get(name,
+                                                                   repeats))
         print(f"{name:36s} best {results[name]['best_ms']:8.3f} ms  "
               f"mean {results[name]['mean_ms']:8.3f} ms")
     fast = results["dense_train_step"]["best_ms"]
@@ -173,8 +257,14 @@ def run_suite(repeats: int = 30) -> dict:
     return results
 
 
-def write_results(path: str | Path, results: dict) -> None:
-    """Append one benchmark record to a JSON file (list of runs)."""
+def write_results(path: str | Path, results: dict,
+                  label: str | None = None) -> None:
+    """Append one benchmark record to a JSON file (list of runs).
+
+    ``label`` names the entry ("seed", "PR 6: ...", ...) so the history
+    in ``BENCH_substrate.json`` reads as a changelog; ``make bench``
+    passes one via ``BENCH_LABEL``.
+    """
     path = Path(path)
     record = {
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
@@ -183,6 +273,8 @@ def write_results(path: str | Path, results: dict) -> None:
         "machine": platform.machine(),
         "results": results,
     }
+    if label:
+        record["label"] = label
     runs = []
     if path.exists():
         try:
@@ -209,11 +301,13 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--output", default=None, metavar="PATH",
                         help="append results to this JSON file "
                              "(e.g. BENCH_substrate.json)")
+    parser.add_argument("--label", default=None,
+                        help="name this entry in the results file")
     args = parser.parse_args(argv)
     repeats = args.repeats or (5 if args.quick else 30)
     results = run_suite(repeats=repeats)
     if args.output:
-        write_results(args.output, results)
+        write_results(args.output, results, label=args.label)
     return 0
 
 

@@ -30,7 +30,6 @@ import numpy as np
 
 from ..hpc.costmodel import TrainingCostModel
 from ..nas.arch import Architecture
-from ..nas.builder import compile_architecture
 from ..nas.ops import (ActivationOp, ConnectOp, Conv1DOp, DenseOp,
                        DropoutOp, MaxPooling1DOp, Operation)
 from ..nas.space import Structure
@@ -145,15 +144,25 @@ class SurrogateReward(RewardModel):
         self._param_cache: dict[tuple[int, ...], int] = {}
 
     # -- internals -----------------------------------------------------
+    def _plan(self, arch: Architecture):
+        return self._compile_plan(self.space, arch.choices,
+                                  self.input_shapes, self.head_ops)
+
+    def prefetch_plan(self, arch: Architecture) -> None:
+        if self.plan_cache is None:
+            return
+        try:
+            self._plan(arch)
+        except (ValueError, KeyError):
+            pass  # invalid architecture: surfaces at evaluation time
+
     def params_of(self, arch: Architecture) -> int:
         """Exact parameter count, memoized per choice tuple."""
         key = arch.choices
         if key not in self._param_cache:
             if len(self._param_cache) > 200_000:  # bound memory at scale
                 self._param_cache.clear()
-            plan = compile_architecture(self.space, key, self.input_shapes,
-                                        self.head_ops)
-            self._param_cache[key] = plan.total_params
+            self._param_cache[key] = self._plan(arch).total_params
         return self._param_cache[key]
 
     def quality(self, arch: Architecture) -> float:

@@ -56,6 +56,23 @@ class TrainingReward(RewardModel):
         #: during build/training instead
         self.num_nonfinite = 0
 
+    def _plan(self, arch: Architecture):
+        problem = self.problem
+        if self.plan_cache is not None:
+            return self.plan_cache.get_or_compile(
+                problem.space, arch.choices, problem.input_shapes,
+                problem.head_ops)
+        return compile_architecture(problem.space, arch.choices,
+                                    problem.input_shapes, problem.head_ops)
+
+    def prefetch_plan(self, arch: Architecture) -> None:
+        if self.plan_cache is None:
+            return
+        try:
+            self._plan(arch)
+        except (ValueError, KeyError, FloatingPointError, OverflowError):
+            pass  # invalid architecture: surfaces at evaluation time
+
     def evaluate(self, arch: Architecture, agent_seed: int = 0,
                  train_fraction: float | None = None) -> EvalResult:
         problem = self.problem
@@ -64,9 +81,7 @@ class TrainingReward(RewardModel):
         seed = arch_seed(self.base_seed, agent_seed, arch)
         start = self.clock()
         try:
-            plan = compile_architecture(problem.space, arch.choices,
-                                        problem.input_shapes,
-                                        problem.head_ops)
+            plan = self._plan(arch)
             model = plan.materialize(np.random.default_rng(seed))
         except (ValueError, KeyError, FloatingPointError, OverflowError):
             # invalid architecture (e.g. pooling exhausted the sequence)

@@ -11,6 +11,17 @@ width and invalid actions are masked to (effectively) −∞.
 ``forward_train``/``backward_train`` implement full backpropagation
 through time for the PPO surrogate; ``sample`` is the cheap no-grad
 rollout used to generate architectures.
+
+The hot path is fused end to end: the recurrent state advances through
+:class:`~repro.nn.recurrent.FusedLSTM` (one stacked gate GEMM per step,
+preallocated state buffers) and the policy and value heads are stacked
+into a single ``(H, A+1)`` matrix so each step computes logits and value
+with one head GEMM.  ``sample``, ``greedy`` and ``forward_train`` all
+run the identical fused step, so a freshly sampled rollout re-evaluated
+by ``forward_train`` reproduces its log-probabilities bit for bit (PPO's
+first-epoch ratio is exactly 1).  The stacked copies are refreshed at
+the start of every pass because the parameter arrays are views into the
+flat pack mutated by the optimizer and the parameter-server exchange.
 """
 
 from __future__ import annotations
@@ -21,7 +32,7 @@ import numpy as np
 
 from ..nn.engine import FlatParameterVector
 from ..nn.initializers import glorot_uniform
-from ..nn.recurrent import LSTMCell, LSTMStepCache
+from ..nn.recurrent import FusedLSTM, LSTMCell
 from ..nn.tensor import Parameter
 
 __all__ = ["LSTMPolicy", "Rollout"]
@@ -40,9 +51,8 @@ class Rollout:
 
 @dataclass
 class _StepCache:
-    lstm: LSTMStepCache
     tokens: np.ndarray      # (B,) input token ids
-    h: np.ndarray           # (B, H)
+    h: np.ndarray           # (B, H) — view into the fused pass buffer
     logp_full: np.ndarray   # (B, A) log-probabilities (masked ~ -inf)
     probs: np.ndarray       # (B, A)
     actions: np.ndarray     # (B,)
@@ -82,6 +92,16 @@ class LSTMPolicy:
                              dtype=self._dtype)
         for t, d in enumerate(self.action_dims):
             self._mask[t, :d] = 0.0
+        # fused sequence driver + stacked [w_pi | w_v] head, refreshed
+        # per pass (the parameter arrays are flat-pack views)
+        self._fused = FusedLSTM(self.lstm)
+        self._head_w: np.ndarray | None = None
+        self._head_b: np.ndarray | None = None
+        self._dhv: dict[tuple, np.ndarray] = {}
+        # full-sequence tensors of the latest forward_train pass, used
+        # by backward_train (which must follow its forward anyway: the
+        # recurrent state lives in the fused pass buffers)
+        self._seq: dict[str, np.ndarray] | None = None
 
     # -- parameter plumbing -------------------------------------------
     def parameters(self) -> list[Parameter]:
@@ -111,28 +131,43 @@ class LSTMPolicy:
         self.flat.add_values(delta)
 
     # -- forward passes -------------------------------------------------
-    def _step_distribution(self, t: int, tokens: np.ndarray,
-                           h: np.ndarray, c: np.ndarray):
+    def _begin_pass(self, batch: int) -> None:
+        """Bind fused buffers and refresh the stacked weight copies."""
+        self._fused.begin(self.horizon, batch)
+        a = self.max_dim
+        if self._head_w is None:
+            self._head_w = np.empty((self.hidden, a + 1), dtype=self._dtype)
+            self._head_b = np.empty(a + 1, dtype=self._dtype)
+        np.copyto(self._head_w[:, :a], self.w_pi.value)
+        self._head_w[:, a] = self.w_v.value[:, 0]
+        self._head_b[:a] = self.b_pi.value
+        self._head_b[a] = self.b_v.value[0]
+
+    def _fused_step(self, t: int, tokens: np.ndarray):
+        """One fused controller step: embedding gather, stacked gate
+        GEMM, stacked head GEMM, masked log-softmax.  The single code
+        path shared by ``sample``/``greedy``/``forward_train`` — their
+        per-step numbers are bit-identical by construction."""
         x = self.embedding.value[tokens]
-        h, c, lstm_cache = self.lstm.step(x, h, c)
-        logits = h @ self.w_pi.value + self.b_pi.value + self._mask[t]
+        h = self._fused.step(t, x)
+        hv = h @ self._head_w + self._head_b
+        logits = hv[:, :self.max_dim] + self._mask[t]
         z = logits - logits.max(axis=-1, keepdims=True)
         logz = np.log(np.exp(z).sum(axis=-1, keepdims=True))
         logp_full = z - logz
         probs = np.exp(logp_full)
-        value = (h @ self.w_v.value + self.b_v.value)[:, 0]
-        return h, c, lstm_cache, logp_full, probs, value
+        value = hv[:, self.max_dim]
+        return h, logp_full, probs, value
 
     def sample(self, batch: int, rng: np.random.Generator) -> Rollout:
         """Draw ``batch`` architectures from the current policy."""
-        h, c = self.lstm.initial_state(batch)
+        self._begin_pass(batch)
         tokens = np.zeros(batch, dtype=np.intp)
         actions = np.zeros((batch, self.horizon), dtype=np.intp)
         logprobs = np.zeros((batch, self.horizon))
         values = np.zeros((batch, self.horizon))
         for t in range(self.horizon):
-            h, c, _, logp_full, probs, value = self._step_distribution(
-                t, tokens, h, c)
+            _, logp_full, probs, value = self._fused_step(t, tokens)
             u = rng.random((batch, 1))
             acts = (probs.cumsum(axis=-1) < u).sum(axis=-1)
             acts = np.minimum(acts, self.action_dims[t] - 1)
@@ -144,11 +179,11 @@ class LSTMPolicy:
 
     def greedy(self) -> np.ndarray:
         """The argmax action sequence (one architecture)."""
-        h, c = self.lstm.initial_state(1)
+        self._begin_pass(1)
         tokens = np.zeros(1, dtype=np.intp)
         actions = np.zeros(self.horizon, dtype=np.intp)
         for t in range(self.horizon):
-            h, c, _, logp_full, _, _ = self._step_distribution(t, tokens, h, c)
+            _, logp_full, _, _ = self._fused_step(t, tokens)
             actions[t] = int(logp_full[0].argmax())
             tokens = actions[t:t + 1] + 1
         return actions
@@ -157,62 +192,106 @@ class LSTMPolicy:
                       ) -> tuple[np.ndarray, np.ndarray, np.ndarray,
                                  list[_StepCache]]:
         """Recompute (logprobs, values, entropies) for given actions,
-        caching everything ``backward_train`` needs."""
+        caching everything ``backward_train`` needs.
+
+        Unlike ``sample``, the whole input sequence is known upfront, so
+        only the recurrent carry runs step by step — the head GEMM,
+        log-softmax, and entropy are computed for all ``T`` steps at
+        once."""
         actions = np.asarray(actions, dtype=np.intp)
         batch, horizon = actions.shape
         if horizon != self.horizon:
             raise ValueError(f"expected horizon {self.horizon}, got {horizon}")
-        h, c = self.lstm.initial_state(batch)
-        tokens = np.zeros(batch, dtype=np.intp)
-        logprobs = np.zeros((batch, horizon))
-        values = np.zeros((batch, horizon))
-        entropies = np.zeros((batch, horizon))
-        caches: list[_StepCache] = []
+        self._begin_pass(batch)
+        a = self.max_dim
+        # token t is action t-1 shifted by one; token 0 is <start>
+        tokens = np.zeros((horizon, batch), dtype=np.intp)
+        tokens[1:] = actions[:, :-1].T + 1
+        xs = self.embedding.value[tokens]                   # (T, B, E)
         for t in range(horizon):
-            h, c, lstm_cache, logp_full, probs, value = \
-                self._step_distribution(t, tokens, h, c)
-            acts = actions[:, t]
-            logprobs[:, t] = logp_full[np.arange(batch), acts]
-            values[:, t] = value
-            with np.errstate(invalid="ignore"):
-                plogp = np.where(probs > 0, probs * logp_full, 0.0)
-            entropy = -plogp.sum(axis=-1)
-            entropies[:, t] = entropy
-            caches.append(_StepCache(lstm_cache, tokens.copy(), h, logp_full,
-                                     probs, acts, entropy))
-            tokens = acts + 1
+            self._fused.step(t, xs[t])
+        h_all = self._fused.hidden_states                   # (T, B, H)
+        hv = (h_all.reshape(horizon * batch, self.hidden) @ self._head_w
+              + self._head_b).reshape(horizon, batch, a + 1)
+        logits = hv[:, :, :a] + self._mask[:, None, :]
+        z = logits - logits.max(axis=-1, keepdims=True)
+        logz = np.log(np.exp(z).sum(axis=-1, keepdims=True))
+        logp_full = z - logz                                # (T, B, A)
+        probs = np.exp(logp_full)
+        with np.errstate(invalid="ignore"):
+            plogp = np.where(probs > 0, probs * logp_full, 0.0)
+        ent = -plogp.sum(axis=-1)                           # (T, B)
+        t_idx = np.arange(horizon)[:, None]
+        b_idx = np.arange(batch)[None, :]
+        acts = actions.T                                    # (T, B)
+        logprobs = logp_full[t_idx, b_idx, acts].T.astype(np.float64)
+        values = hv[:, :, a].T.astype(np.float64)
+        entropies = ent.T.astype(np.float64)
+        self._seq = {"tokens": tokens, "logp_full": logp_full,
+                     "probs": probs, "entropy": ent, "actions": acts}
+        caches = [_StepCache(tokens[t], h_all[t], logp_full[t], probs[t],
+                             actions[:, t], ent[t]) for t in range(horizon)]
         return logprobs, values, entropies, caches
 
     def backward_train(self, caches: list[_StepCache], d_logp: np.ndarray,
                        d_value: np.ndarray, d_entropy: np.ndarray) -> None:
         """Accumulate parameter gradients for a scalar objective with the
-        given partials w.r.t. per-step logprob/value/entropy."""
+        given partials w.r.t. per-step logprob/value/entropy.
+
+        Must follow the ``forward_train`` pass whose caches it consumes
+        (the recurrent state lives in the fused driver's pass buffers).
+        """
         dt = self._dtype
         d_logp = np.asarray(d_logp, dtype=dt)
         d_value = np.asarray(d_value, dtype=dt)
         d_entropy = np.asarray(d_entropy, dtype=dt)
         batch = caches[0].tokens.shape[0]
-        dh_next = np.zeros((batch, self.hidden), dtype=dt)
+        horizon = len(caches)
+        a = self.max_dim
+        seq = self._seq
+        probs, logp_full = seq["probs"], seq["logp_full"]
+        entropy, acts = seq["entropy"], seq["actions"]
+        key = (horizon, batch)
+        dhv = self._dhv.get(key)
+        if dhv is None:
+            # per-step head gradients [dlogits | dvalue], accumulated so
+            # the head weight gradient is one whole-sequence GEMM
+            dhv = self._dhv[key] = np.empty((horizon, batch, a + 1),
+                                            dtype=dt)
+        # head gradients are step-independent given the forward pass, so
+        # compute them for all T steps at once: d logp_a / dlogits_j =
+        # 1[j=a] - p_j, dH/dlogits_j = -p_j (log p_j + H)
+        dl = d_logp.T[:, :, None]                           # (T, B, 1)
+        dlogits = dhv[:, :, :a]
+        np.multiply(probs, -dl, out=dlogits)
+        t_idx = np.arange(horizon)[:, None]
+        b_idx = np.arange(batch)[None, :]
+        dlogits[t_idx, b_idx, acts] += d_logp.T
+        with np.errstate(invalid="ignore"):
+            ent_term = np.where(
+                probs > 0, -probs * (logp_full + entropy[:, :, None]), 0.0)
+        dlogits += d_entropy.T[:, :, None] * ent_term
+        dhv[:, :, a] = d_value.T
+        # one GEMM for every step's head contribution to dh; the time
+        # loop only carries the recurrent state backwards
+        dh_head = (dhv.reshape(horizon * batch, a + 1) @ self._head_w.T
+                   ).reshape(horizon, batch, self.hidden)
         dc_next = np.zeros((batch, self.hidden), dtype=dt)
-        idx = np.arange(batch)
-        for t in reversed(range(len(caches))):
-            cache = caches[t]
-            probs, logp_full = cache.probs, cache.logp_full
-            onehot = np.zeros_like(probs)
-            onehot[idx, cache.actions] = 1.0
-            dlogits = d_logp[:, t, None] * (onehot - probs)
-            # dH/dlogits_j = -p_j (log p_j + H)
-            with np.errstate(invalid="ignore"):
-                ent_term = np.where(probs > 0,
-                                    -probs * (logp_full + cache.entropy[:, None]),
-                                    0.0)
-            dlogits += d_entropy[:, t, None] * ent_term
-            self.w_pi.grad += cache.h.T @ dlogits
-            self.b_pi.grad += dlogits.sum(axis=0)
-            dv = d_value[:, t][:, None]
-            self.w_v.grad += cache.h.T @ dv
-            self.b_v.grad += dv.sum(axis=0)
-            dh = dlogits @ self.w_pi.value.T + dv @ self.w_v.value.T + dh_next
-            dx, dh_next, dc_next = self.lstm.backward_step(dh, dc_next,
-                                                           cache.lstm)
-            np.add.at(self.embedding.grad, cache.tokens, dx)
+        dh_next = None
+        for t in reversed(range(horizon)):
+            dh = dh_head[t]
+            if dh_next is not None:
+                dh += dh_next
+            dh_next, dc_next = self._fused.backward_step(t, dh, dc_next)
+        self._fused.backward_finish()
+        dx = self._fused.input_grads()                      # (T, B, E)
+        np.add.at(self.embedding.grad, seq["tokens"].ravel(),
+                  dx.reshape(horizon * batch, -1))
+        h2 = self._fused.hidden_states.reshape(horizon * batch, self.hidden)
+        dhv2 = dhv.reshape(horizon * batch, a + 1)
+        ghead = h2.T @ dhv2
+        self.w_pi.grad += ghead[:, :a]
+        self.w_v.grad += ghead[:, a:]
+        dsum = dhv2.sum(axis=0)
+        self.b_pi.grad += dsum[:a]
+        self.b_v.grad += dsum[a:]

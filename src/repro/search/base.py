@@ -48,6 +48,12 @@ class SearchConfig:
     convergence_patience: int = 3
     #: agent-local evaluation cache (§4); disable for ablations
     use_cache: bool = True
+    #: shared isomorphism-keyed compile cache
+    #: (:class:`~repro.nas.plancache.PlanCache`): plans amortize across
+    #: agents and iterations, and the broker batch-gathers each
+    #: submission against it.  Plans are immutable, so this never
+    #: perturbs the determinism fingerprint; disable for ablations
+    plan_cache: bool = True
     #: A3C parameter-server staleness window (None = num_agents // 2,
     #: "a set of recently received gradients")
     staleness_window: int | None = None

@@ -22,7 +22,7 @@ from repro.problems import combo_problem, nt3_problem, uno_problem
 
 #: markers that define the test tiers (see docs/testing.md); anything
 #: not explicitly tiered is "fast" — the default inner-loop suite
-_TIER_MARKERS = ("slow", "chaos", "verify", "health")
+_TIER_MARKERS = ("slow", "chaos", "verify", "health", "perf")
 
 
 def pytest_collection_modifyitems(config, items):

@@ -120,3 +120,61 @@ class TestFlatten:
         assert out.shape == (2, 12)
         back = f.backward(out)
         np.testing.assert_array_equal(back, x)
+
+
+class TestPooledScratchBatchTail:
+    """Regression: the conv/pool scratch pool keys on the full buffer
+    shape, so a smaller final batch (an uneven dataset tail) must get its
+    own buffers and leave the steady-state ones untouched."""
+
+    def _conv_model(self):
+        from repro.nn import Conv1D as C, Dense, GraphModel
+        from repro.nn import Flatten as F, MaxPooling1D as P
+
+        m = GraphModel()
+        m.add_input("x", (64, 1))
+        m.add("c1", C(4, 7, activation="relu"), ["x"])
+        m.add("p1", P(2), ["c1"])
+        m.add("c2", C(4, 5, activation="relu"), ["p1"])
+        m.add("p2", P(2), ["c2"])
+        m.add("f", F(), ["p2"])
+        m.add("y", Dense(1), ["f"])
+        m.set_output("y")
+        m.build(np.random.default_rng(0))
+        return m
+
+    def _step(self, m, batch, seed):
+        rng = np.random.default_rng(seed)
+        x = {"x": rng.standard_normal((batch, 64, 1)).astype(m.dtype)}
+        out = m.forward(x, training=True).copy()
+        m.zero_grad()
+        m.backward(np.ones((batch, 1), dtype=m.dtype) / batch)
+        grads = {p.name: p.grad.copy() for p in m.parameters()}
+        return out, grads
+
+    def test_uneven_tail_batch_matches_fresh_model(self):
+        """Full batches, then a short tail, then full again — each pass
+        must match a fresh model that only ever saw that batch."""
+        warm = self._conv_model()
+        for batch, seed in [(16, 0), (16, 1), (5, 2), (16, 3)]:
+            fresh = self._conv_model()
+            out_w, grads_w = self._step(warm, batch, seed)
+            out_f, grads_f = self._step(fresh, batch, seed)
+            np.testing.assert_array_equal(out_w, out_f)
+            assert grads_w.keys() == grads_f.keys()
+            for name in grads_w:
+                np.testing.assert_array_equal(grads_w[name], grads_f[name],
+                                              err_msg=name)
+
+    def test_alternating_batches_keep_separate_buffers(self):
+        """Interleaved batch sizes reuse pooled buffers per shape; the
+        large batch's results must be identical before and after a small
+        batch ran through the same layers."""
+        m = self._conv_model()
+        out_a, grads_a = self._step(m, 16, 0)
+        self._step(m, 3, 1)
+        out_b, grads_b = self._step(m, 16, 0)
+        np.testing.assert_array_equal(out_a, out_b)
+        for name in grads_a:
+            np.testing.assert_array_equal(grads_a[name], grads_b[name],
+                                          err_msg=name)

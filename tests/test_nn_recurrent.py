@@ -1,9 +1,10 @@
-"""Unit tests for the LSTM cell, including multi-step BPTT gradchecks."""
+"""Unit tests for the LSTM cell, including multi-step BPTT gradchecks,
+and for the fused sequence driver against the reference cell."""
 
 import numpy as np
 import pytest
 
-from repro.nn.recurrent import LSTMCell
+from repro.nn.recurrent import FusedLSTM, LSTMCell
 
 
 class TestShapesAndState:
@@ -115,3 +116,85 @@ class TestBPTT:
         ym, _, _ = cell.step(x, hm, c0)
         num = (yp.sum() - ym.sum()) / (2 * eps)
         assert abs(num - dh_prev[0, 2]) < 1e-6
+
+
+class TestFusedLSTM:
+    """The fused driver is the hot path; the reference cell is ground
+    truth.  The stacked-[x,h] GEMM contracts in a different order than
+    the reference's two GEMMs, so equality is to rounding, not bits."""
+
+    def _reference_pass(self, cell, xs, dhs):
+        """Reference forward + BPTT; returns (hs, param grads, dxs)."""
+        h, c = cell.initial_state(xs[0].shape[0])
+        hs, caches = [], []
+        for x in xs:
+            h, c, cache = cell.step(x, h, c)
+            hs.append(h)
+            caches.append(cache)
+        for p in cell.parameters():
+            p.zero_grad()
+        dh = np.zeros_like(h)
+        dc = np.zeros_like(c)
+        dxs = [None] * len(xs)
+        for t in reversed(range(len(xs))):
+            dx, dh, dc = cell.backward_step(dhs[t] + dh, dc, caches[t])
+            dxs[t] = dx
+        grads = {p.name: p.grad.copy() for p in cell.parameters()}
+        return hs, grads, dxs
+
+    def _fused_pass(self, fused, xs, dhs):
+        cell = fused.cell
+        fused.begin(len(xs), xs[0].shape[0])
+        hs = [fused.step(t, x).copy() for t, x in enumerate(xs)]
+        for p in cell.parameters():
+            p.zero_grad()
+        dh_next = None
+        dc = np.zeros_like(hs[0])
+        for t in reversed(range(len(xs))):
+            dh = dhs[t] + dh_next if dh_next is not None else dhs[t]
+            dh_next, dc = fused.backward_step(t, dh, dc)
+        fused.backward_finish()
+        grads = {p.name: p.grad.copy() for p in cell.parameters()}
+        return hs, grads, fused.input_grads()
+
+    def _assert_pass_matches(self, cell, fused, rng, horizon, batch):
+        xs = [rng.standard_normal((batch, cell.input_size))
+              for _ in range(horizon)]
+        dhs = [rng.standard_normal((batch, cell.hidden_size))
+               for _ in range(horizon)]
+        ref_hs, ref_grads, ref_dxs = self._reference_pass(cell, xs, dhs)
+        fus_hs, fus_grads, fus_dxs = self._fused_pass(fused, xs, dhs)
+        for t in range(horizon):
+            np.testing.assert_allclose(fus_hs[t], ref_hs[t], atol=1e-12)
+            np.testing.assert_allclose(fus_dxs[t], ref_dxs[t], atol=1e-12)
+        for name, ref in ref_grads.items():
+            np.testing.assert_allclose(fus_grads[name], ref, atol=1e-11,
+                                       err_msg=name)
+
+    def test_matches_reference_cell(self, rng):
+        cell = LSTMCell(5, 8, rng)
+        self._assert_pass_matches(cell, FusedLSTM(cell), rng,
+                                  horizon=6, batch=3)
+
+    def test_buffers_reused_across_batch_sizes(self, rng):
+        """Shape-keyed buffer pooling: passes at different (T, B) — and a
+        return to an earlier shape — must all match the reference."""
+        cell = LSTMCell(4, 6, rng)
+        fused = FusedLSTM(cell)
+        for horizon, batch in [(5, 8), (5, 3), (2, 8), (5, 8)]:
+            self._assert_pass_matches(cell, fused, rng, horizon, batch)
+
+    def test_weight_refresh_on_begin(self, rng):
+        """Parameters are flat-pack views mutated externally; begin()
+        must pick up the new values."""
+        cell = LSTMCell(3, 4, rng)
+        fused = FusedLSTM(cell)
+        x = rng.standard_normal((2, 3))
+        fused.begin(1, 2)
+        first = fused.step(0, x).copy()
+        cell.wx.value += 0.1     # optimizer-style in-place update
+        fused.begin(1, 2)
+        second = fused.step(0, x).copy()
+        assert not np.allclose(first, second)
+        ref, _, _ = cell.step(x, *cell.initial_state(2))
+        np.testing.assert_allclose(second, ref, atol=1e-12)

@@ -1,0 +1,141 @@
+"""Bench regression gate over ``BENCH_substrate.json``.
+
+Compares the *latest* recorded benchmark entry against the best prior
+entry per tracked kernel and exits non-zero when any kernel regressed by
+more than the tolerance (default 15%).  ``best_ms`` is the comparison
+metric because on shared machines it is the least noise-contaminated
+estimate of achievable per-call cost; mean/p50 swing with background
+load.
+
+On shared containers the machine itself drifts 20-30% day to day, so
+raw milliseconds are not comparable across recording sessions.  Every
+entry therefore records a ``machine_calibration`` timing — a fixed,
+repo-independent GEMM + elementwise workload measured in the same run —
+and the gate compares *normalized* cost (``best_ms / calibration``)
+whenever both entries carry it.  Entries predating calibration are
+compared absolutely, which conflates machine drift with code changes;
+they are reported but only calibrated-vs-calibrated comparisons are
+considered sound.  A kernel (or a whole history) with no comparable
+prior passes trivially.
+
+Run via ``make bench-check`` (wired into ``make smoke``) or directly::
+
+    python tools/check_bench.py [--file BENCH_substrate.json] [--tolerance 0.15]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parents[1]
+
+#: kernels guarded against regression.  The calibration workload and
+#: aggregate values such as dense_step_speedup (a ratio, not a timing)
+#: are deliberately excluded.
+TRACKED = (
+    "dense_train_step",
+    "conv1d_fwd_bwd",
+    "ppo_update",
+    "lstm_policy_step",
+    "compile_architecture_x20",
+    "plan_cache_hit_x20",
+    "search_iteration",
+)
+
+CALIBRATION = "machine_calibration"
+
+
+def _entry_label(entry: dict, index: int) -> str:
+    label = entry.get("label")
+    stamp = entry.get("timestamp", "?")
+    return f"#{index} [{stamp}] {label}" if label else f"#{index} [{stamp}]"
+
+
+def _best(entry: dict, kernel: str) -> float | None:
+    timing = entry.get("results", {}).get(kernel)
+    if isinstance(timing, dict) and "best_ms" in timing:
+        return float(timing["best_ms"])
+    return None
+
+
+def check(runs: list[dict], tolerance: float = 0.15) -> list[str]:
+    """Return a list of regression messages (empty = gate passes)."""
+    if len(runs) < 2:
+        return []
+    latest = runs[-1]
+    cal = _best(latest, CALIBRATION)
+    problems = []
+    for kernel in TRACKED:
+        current = _best(latest, kernel)
+        if current is None:
+            continue
+        if cal is not None:
+            # sound path: machine-normalized cost vs. calibrated priors
+            prior = [(_best(r, kernel), _best(r, CALIBRATION))
+                     for r in runs[:-1]]
+            ratios = [k / c for k, c in prior if k is not None
+                      and c is not None]
+            if not ratios:
+                continue  # first calibrated entry for this kernel
+            best_prior = min(ratios)
+            value, unit = current / cal, "x calibration"
+        else:
+            # legacy path: absolute milliseconds — machine drift and code
+            # regressions are indistinguishable here
+            prior = [_best(r, kernel) for r in runs[:-1]]
+            ratios = [k for k in prior if k is not None]
+            if not ratios:
+                continue
+            best_prior = min(ratios)
+            value, unit = current, " ms"
+        limit = best_prior * (1.0 + tolerance)
+        if value > limit:
+            problems.append(
+                f"{kernel}: best {value:.3f}{unit} exceeds {limit:.3f}{unit} "
+                f"({best_prior:.3f}{unit} best prior +{tolerance:.0%})")
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--file", default=str(ROOT / "BENCH_substrate.json"),
+                        help="benchmark history (default: repo-root "
+                             "BENCH_substrate.json)")
+    parser.add_argument("--tolerance", type=float, default=0.15,
+                        help="allowed fractional regression vs. the best "
+                             "prior entry (default 0.15)")
+    args = parser.parse_args(argv)
+    path = Path(args.file)
+    if not path.exists():
+        print(f"check_bench: {path} missing; nothing to check")
+        return 0
+    try:
+        runs = json.loads(path.read_text())
+    except ValueError as exc:
+        print(f"check_bench: {path} unreadable: {exc}")
+        return 1
+    if not isinstance(runs, list):
+        runs = [runs]
+    if len(runs) < 2:
+        print(f"check_bench: {len(runs)} entr{'y' if len(runs) == 1 else 'ies'}"
+              " recorded; need two to compare")
+        return 0
+    problems = check(runs, tolerance=args.tolerance)
+    latest = _entry_label(runs[-1], len(runs) - 1)
+    if problems:
+        print(f"check_bench: {latest} REGRESSED")
+        for problem in problems:
+            print(f"check_bench:   {problem}")
+        return 1
+    mode = ("calibration-normalized"
+            if _best(runs[-1], CALIBRATION) is not None else "absolute")
+    print(f"check_bench: {latest} within {args.tolerance:.0%} of the best "
+          f"prior entry ({len(runs)} runs, {mode})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
