@@ -44,12 +44,14 @@ smoke: lint
 	$(PYTHON) tools/check_bench.py
 
 ## fault-matrix smoke: seeded fault injection at several failure rates,
-## bounded reward degradation, plus the numerical health-layer profile
+## bounded reward degradation, the numerical health-layer profile
 ## (NaN gradients, exploding updates, corrupt deltas under guard-mode
-## recover); then the chaos- and health-marked pytest suites
+## recover), and the real-process supervision profile (SIGKILLed
+## workers, crashing/hanging evals); then the chaos-, health- and
+## proc-marked pytest suites
 chaos:
 	$(PYTHON) -m repro.search.chaos --profile all
-	$(PYTHON) -m pytest -q -m "chaos or health"
+	$(PYTHON) -m pytest -q -m "chaos or health or proc"
 
 ## record substrate baselines into BENCH_substrate.json (labeled entry),
 ## then run the regression gate over the updated history

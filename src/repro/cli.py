@@ -21,7 +21,6 @@ Commands
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 
 import numpy as np
@@ -38,9 +37,10 @@ from .problems import get_problem
 from .problems.combo import COMBO_PAPER_SHAPES, combo_head
 from .problems.nt3 import NT3_PAPER_SHAPES, nt3_head
 from .problems.uno import UNO_PAPER_SHAPES, uno_head
-from .events import RecordingSink
+from .events import JsonlSink
 from .rewards import SurrogateReward
 from .search import NasSearch, SearchConfig
+from .search.checkpoint import SearchCheckpoint
 
 __all__ = ["main"]
 
@@ -85,28 +85,58 @@ def _cmd_search(args) -> int:
     guard_mode = getattr(args, "guard_mode", "off")
     guard = (GuardConfig(mode=guard_mode)
              if guard_mode != "off" else None)
+    backend = getattr(args, "backend", "balsam")
     cfg = SearchConfig(method=args.method, allocation=alloc,
                        wall_time=args.minutes * 60.0, seed=args.seed,
                        guard=guard,
-                       max_restarts=getattr(args, "max_restarts", 0))
+                       max_restarts=getattr(args, "max_restarts", 0),
+                       backend=backend,
+                       max_iterations=getattr(args, "iterations", None),
+                       preemptible=getattr(args, "preempt", False),
+                       checkpoint_path=getattr(args, "checkpoint_path",
+                                               None))
     print(f"running {args.method} on {space.name} "
           f"({alloc.num_agents} agents x {alloc.workers_per_agent} "
-          f"workers, {args.minutes:.0f} simulated min) ...")
-    sink = RecordingSink() if getattr(args, "events", None) else None
-    result = NasSearch(space, reward, cfg, event_sink=sink).run()
+          f"workers, {args.minutes:.0f} simulated min, "
+          f"{backend} backend) ...")
+    # the event stream goes straight to disk, one flushed line per
+    # event, so a crashed or preempted run keeps everything emitted so
+    # far (a torn trailing line is tolerated by events.read_events)
+    sink = JsonlSink(args.events) if getattr(args, "events", None) else None
+    resume_path = getattr(args, "resume", None)
+    try:
+        if resume_path:
+            ckpt = SearchCheckpoint.load(resume_path)
+            search = NasSearch(space, reward, cfg, resume_from=ckpt,
+                               event_sink=sink)
+        else:
+            search = NasSearch(space, reward, cfg, event_sink=sink)
+        result = search.run()
+    finally:
+        if sink is not None:
+            sink.close()
     if sink is not None:
-        with open(args.events, "w") as fh:
-            for event in sink.events:
-                fh.write(json.dumps(event.to_dict()) + "\n")
-        print(f"{len(sink.events)} events written to {args.events}")
+        print(f"{sink.num_written} events streamed to {args.events}")
+    if result.preempted:
+        where = cfg.checkpoint_path or "search.checkpoints[-1]"
+        print(f"preempted; resumable checkpoint at {where} "
+              f"(rerun with --resume to continue)")
+    best = (f"{result.best().reward:.3f}" if result.records else "n/a")
     print(f"evaluations: {result.num_evaluations} "
           f"({result.unique_architectures} unique); "
-          f"best reward: {result.best().reward:.3f}; "
+          f"best reward: {best}; "
           f"utilization: "
           f"{result.cluster.mean_utilization(max(result.end_time, 1e-9)):.2f}")
     if guard is not None or cfg.max_restarts:
         print(f"health: rollbacks={result.num_rollbacks} "
               f"restarts={result.num_restarts}")
+    if result.worker_stats:
+        ws = result.worker_stats
+        print(f"workers: spawns={ws.get('worker_spawns', 0)} "
+              f"crashes={ws.get('worker_crashes', 0)} "
+              f"timeouts={ws.get('worker_timeouts', 0)} "
+              f"respawns={ws.get('respawns', 0)} "
+              f"quarantined={ws.get('quarantined', 0)}")
     if args.output:
         save_records(result.records, args.output, metadata={
             "problem": args.problem, "size": args.size,
@@ -270,6 +300,27 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-restarts", type=int, default=0,
                    help="resurrect a crashed agent from its last "
                         "iteration boundary up to this many times")
+    p.add_argument("--backend",
+                   choices=("balsam", "serial", "thread", "process"),
+                   default="balsam",
+                   help="evaluation backend: balsam = simulated service "
+                        "(default); serial/thread/process run the reward "
+                        "model in host time (process = supervised worker "
+                        "pool) and require --iterations")
+    p.add_argument("--iterations", type=int,
+                   help="stop every agent after this many iterations "
+                        "(required for non-balsam backends)")
+    p.add_argument("--preempt", action="store_true",
+                   help="handle SIGTERM/SIGINT gracefully: stop at the "
+                        "next event boundary, capture a resumable "
+                        "checkpoint (see --checkpoint-path), and exit "
+                        "cleanly")
+    p.add_argument("--checkpoint-path",
+                   help="write the most recent checkpoint (periodic or "
+                        "preemption) to this JSON file")
+    p.add_argument("--resume",
+                   help="resume from a checkpoint JSON written by "
+                        "--checkpoint-path")
     p.set_defaults(fn=_cmd_search)
 
     p = sub.add_parser("analyze", help="summarize a search log")

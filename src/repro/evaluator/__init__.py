@@ -4,9 +4,11 @@ from .balsam import BalsamEvaluator, BalsamJob, BalsamService
 from .base import EvalRecord, Evaluator
 from .broker import EvalBackend, EvalBroker, RewardModelBackend
 from .cache import EvalCache
+from .process import ProcConfig, ProcessEvaluator
 from .serial import SerialEvaluator
 from .thread import ThreadEvaluator
 
 __all__ = ['BalsamEvaluator', 'BalsamJob', 'BalsamService', 'EvalBackend',
            'EvalBroker', 'EvalCache', 'EvalRecord', 'Evaluator',
-           'RewardModelBackend', 'SerialEvaluator', 'ThreadEvaluator']
+           'ProcConfig', 'ProcessEvaluator', 'RewardModelBackend',
+           'SerialEvaluator', 'ThreadEvaluator']

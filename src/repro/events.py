@@ -15,13 +15,17 @@ constructed — :func:`emit` is a no-op on ``sink=None``.
 
 from __future__ import annotations
 
+import json
+import os
 from dataclasses import dataclass, field
 
 __all__ = [
     "SUBMIT", "BATCH_STATS", "EVAL_DONE", "CACHE_HIT", "PUSH", "BARRIER",
     "ROLLBACK", "RESTART", "CHECKPOINT", "CRASH", "AGENT_DONE",
+    "WORKER_SPAWN", "WORKER_CRASH", "WORKER_RESPAWN", "WORKER_TIMEOUT",
+    "QUARANTINE", "PREEMPT",
     "EVENT_KINDS", "SearchEvent", "EventSink", "NullSink", "RecordingSink",
-    "CallbackSink", "TeeSink", "emit",
+    "CallbackSink", "TeeSink", "JsonlSink", "emit", "read_events",
 ]
 
 #: a batch of architectures entered the evaluation broker
@@ -48,9 +52,24 @@ CHECKPOINT = "checkpoint"
 CRASH = "crash"
 #: an agent finished (converged, wall-time, or post-crash accounting)
 AGENT_DONE = "agent-done"
+#: a process-pool worker was started (initial pool fill)
+WORKER_SPAWN = "worker-spawn"
+#: a worker died unexpectedly (crash, external kill, lost heartbeat)
+WORKER_CRASH = "worker-crash"
+#: a replacement worker was spawned after a death (restart budget spent)
+WORKER_RESPAWN = "worker-respawn"
+#: a worker was killed because its job exceeded the wall-clock deadline
+WORKER_TIMEOUT = "worker-timeout"
+#: an architecture was quarantined after killing too many workers
+QUARANTINE = "quarantine"
+#: the search was preempted (SIGTERM/SIGINT) and stopped at a
+#: checkpointable boundary
+PREEMPT = "preempt"
 
 EVENT_KINDS = (SUBMIT, BATCH_STATS, EVAL_DONE, CACHE_HIT, PUSH, BARRIER,
-               ROLLBACK, RESTART, CHECKPOINT, CRASH, AGENT_DONE)
+               ROLLBACK, RESTART, CHECKPOINT, CRASH, AGENT_DONE,
+               WORKER_SPAWN, WORKER_CRASH, WORKER_RESPAWN, WORKER_TIMEOUT,
+               QUARANTINE, PREEMPT)
 
 
 @dataclass(frozen=True)
@@ -135,6 +154,74 @@ class TeeSink(EventSink):
     def close(self) -> None:
         for sink in self.sinks:
             sink.close()
+
+
+class JsonlSink(EventSink):
+    """Streams events to a JSONL file, one flushed line per event.
+
+    Unlike buffering events in memory and dumping them at the end of the
+    run, every record hits the OS the moment it is emitted (``flush`` +
+    best-effort ``fsync``), so a crash — or a SIGKILLed run — loses at
+    most the event being written.  :func:`read_events` tolerates the
+    torn trailing line such a crash can leave behind.
+    """
+
+    def __init__(self, path, fsync: bool = False) -> None:
+        self.path = os.fspath(path)
+        self.fsync = fsync
+        self._fh = open(self.path, "w", encoding="utf-8")
+        self.num_written = 0
+
+    def emit(self, event: SearchEvent) -> None:
+        if self._fh is None:
+            return
+        self._fh.write(json.dumps(event.to_dict()) + "\n")
+        self._fh.flush()
+        if self.fsync:
+            try:
+                os.fsync(self._fh.fileno())
+            except OSError:
+                pass
+        self.num_written += 1
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "JsonlSink":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def read_events(path) -> list[SearchEvent]:
+    """Read a JSONL event stream back into :class:`SearchEvent` records.
+
+    A torn trailing line — the partial record a crash mid-``write``
+    leaves behind — is silently dropped; a malformed line anywhere
+    *else* in the file is a real corruption and raises ``ValueError``.
+    """
+    events: list[SearchEvent] = []
+    with open(os.fspath(path), encoding="utf-8") as fh:
+        lines = fh.read().split("\n")
+    if lines and lines[-1] == "":
+        lines.pop()     # trailing newline of a complete file
+    for i, line in enumerate(lines):
+        if not line.strip():
+            continue
+        try:
+            rec = json.loads(line)
+        except json.JSONDecodeError:
+            if i == len(lines) - 1:
+                break   # torn trailing line from a crash mid-write
+            raise ValueError(
+                f"{path}: malformed event record at line {i + 1}") from None
+        events.append(SearchEvent(rec["kind"], rec["time"],
+                                  rec.get("agent_id"), rec.get("iteration"),
+                                  rec.get("payload") or {}))
+    return events
 
 
 def emit(sink: EventSink | None, kind: str, time: float,

@@ -209,14 +209,24 @@ class Simulator:
                 f"expected Timeout, Event, Process or AllOf")
 
     # -- running ----------------------------------------------------------
-    def run(self, until: float | None = None) -> None:
+    def run(self, until: float | None = None,
+            stop: "Callable[[], bool] | None" = None) -> None:
         """Run until the heap drains or the clock reaches ``until``.
 
         Like SimPy, the clock is *not* advanced to ``until`` when all
         events complete earlier — ``now`` stays at the last event time,
         which is how an early-converged search reports its true end.
+
+        ``stop`` is polled before every callback; when it returns True
+        the loop returns immediately with the heap (and every parked
+        process) intact — the clock stays at the last executed event.
+        This is the preemption seam: a signal handler flips a flag, and
+        the search stops at the next event boundary, where its state is
+        checkpoint-consistent.
         """
         while self._heap:
+            if stop is not None and stop():
+                return
             t, _, cb, value = self._heap[0]
             if until is not None and t > until:
                 self.now = until

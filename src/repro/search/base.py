@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -10,6 +11,9 @@ from ..health.guards import GuardConfig
 from ..hpc.cluster import Cluster, NodeAllocation
 from ..hpc.faults import FaultConfig
 from ..nas.arch import Architecture
+
+if TYPE_CHECKING:   # annotation only — no runtime evaluator dependency
+    from ..evaluator.process import ProcConfig
 
 __all__ = ["SearchConfig", "RewardRecord", "SearchResult"]
 
@@ -90,10 +94,37 @@ class SearchConfig:
     #: iteration boundary up to this many times per agent (0 = crashed
     #: agents stay down, the pre-health behaviour)
     max_restarts: int = 0
+    #: evaluation backend: "balsam" (simulated service over the virtual
+    #: cluster, the default), or one of the real in-host backends —
+    #: "serial", "thread", "process" (supervised worker pool,
+    #: :mod:`repro.evaluator.process`).  Real backends complete batches
+    #: in zero *virtual* time, so they require ``max_iterations``
+    backend: str = "balsam"
+    #: supervision policy of the "process" backend (None = defaults)
+    proc: "ProcConfig | None" = None
+    #: stop every agent after this many iterations (required for real
+    #: backends, where virtual wall time never advances; optional for
+    #: balsam)
+    max_iterations: int | None = None
+    #: install SIGTERM/SIGINT handlers for the duration of ``run()``:
+    #: on signal the search stops at the next event boundary, captures a
+    #: resumable checkpoint, and returns with ``SearchResult.preempted``
+    preemptible: bool = False
 
     def __post_init__(self) -> None:
         if self.max_restarts < 0:
             raise ValueError("max_restarts must be non-negative")
+        if self.backend not in ("balsam", "serial", "thread", "process"):
+            raise ValueError(f"unknown backend {self.backend!r}")
+        if self.backend != "balsam" and self.max_iterations is None:
+            raise ValueError(
+                f"backend {self.backend!r} runs in real time, where the "
+                f"virtual wall clock never advances — set max_iterations "
+                f"to bound the run")
+        if self.max_iterations is not None and self.max_iterations <= 0:
+            raise ValueError("max_iterations must be positive")
+        if self.proc is not None and self.backend != "process":
+            raise ValueError("proc config requires backend='process'")
         # validated against the strategy registry, so registering a new
         # exchange mode is all a new method name needs (imported lazily:
         # exchange pulls in the rl/health stacks)
@@ -151,6 +182,14 @@ class SearchResult:
     #: stay empty when the health layer is off.
     agent_restarts: dict = field(default_factory=dict)
     agent_rollbacks: dict = field(default_factory=dict)
+    #: the run was preempted (SIGTERM/SIGINT under ``preemptible``, or
+    #: an explicit ``request_preemption``) and stopped at an event
+    #: boundary after capturing a resumable checkpoint
+    preempted: bool = False
+    #: process-backend supervision counters aggregated across agents
+    #: (worker_spawns / worker_crashes / worker_timeouts / respawns /
+    #: quarantined / inline_evals); empty for other backends
+    worker_stats: dict = field(default_factory=dict)
 
     @property
     def num_evaluations(self) -> int:

@@ -33,22 +33,90 @@ Run via ``make chaos`` or::
 from __future__ import annotations
 
 import argparse
+import os
+import signal
+import threading
+import time
+import zlib
+from dataclasses import dataclass, field
 
 from ..health import GuardConfig
 from ..hpc import NodeAllocation, TrainingCostModel
 from ..hpc.faults import FaultConfig
+from ..nas.arch import Architecture
 from ..nas.spaces import combo_small
 from ..problems.combo import COMBO_PAPER_SHAPES, combo_head
 from ..rewards import SurrogateReward
+from ..rewards.base import EvalResult, RewardModel
 from .base import SearchConfig
 from .runner import NasSearch
 
-__all__ = ["fault_levels", "fault_matrix", "check_rows",
-           "numeric_matrix", "check_numeric_rows", "main"]
+__all__ = ["ChaosEvalModel", "fault_levels", "fault_matrix", "check_rows",
+           "numeric_matrix", "check_numeric_rows", "proc_matrix",
+           "check_proc_rows", "main"]
 
 #: default chaos allocation: small enough to run in seconds, large
 #: enough that node failures hit busy pilots
 _ALLOCATION = NodeAllocation(32, 4, 3)
+
+
+@dataclass
+class ChaosEvalModel(RewardModel):
+    """A reward model that really crashes, hangs, or stalls.
+
+    Wraps an inner model and, per architecture, draws a deterministic
+    fault: ``crash_frac`` of architectures hard-kill their worker with
+    ``os._exit`` (a real segfault-equivalent no ``except`` can catch),
+    ``hang_frac`` sleep past any reasonable deadline, and the rest
+    optionally stall ``eval_seconds`` before answering (deterministic
+    stragglers for lifecycle tests).  The draw is keyed by
+    ``(seed, arch.key)`` only — the *same* architecture faults the same
+    way on every attempt in every process, which is exactly what makes
+    it a poison job the quarantine must catch.
+
+    The class lives here (an importable ``src`` module, not a test
+    file) because ``spawn``-context workers must re-import it by module
+    path when the pickled model arrives in the child.
+    """
+
+    inner: RewardModel
+    crash_frac: float = 0.0
+    hang_frac: float = 0.0
+    hang_seconds: float = 3600.0
+    eval_seconds: float = 0.0
+    seed: int = 0
+    #: exit code of injected crashes (visible in WORKER_CRASH causes)
+    crash_exit_code: int = 23
+    plan_cache: object = field(default=None, repr=False)
+
+    def _draw(self, arch: Architecture) -> float:
+        return zlib.crc32(repr((self.seed, arch.key)).encode()) / 2.0 ** 32
+
+    def fault_kind(self, arch: Architecture) -> str:
+        """What this architecture will do: crash | hang | ok."""
+        u = self._draw(arch)
+        if u < self.crash_frac:
+            return "crash"
+        if u < self.crash_frac + self.hang_frac:
+            return "hang"
+        return "ok"
+
+    def evaluate(self, arch: Architecture, agent_seed: int = 0) -> EvalResult:
+        kind = self.fault_kind(arch)
+        if kind == "crash":
+            os._exit(self.crash_exit_code)
+        if kind == "hang":
+            time.sleep(self.hang_seconds)
+        if self.eval_seconds > 0:
+            time.sleep(self.eval_seconds)
+        return self.inner.evaluate(arch, agent_seed=agent_seed)
+
+    def set_plan_cache(self, cache) -> None:
+        self.plan_cache = cache
+        self.inner.set_plan_cache(cache)
+
+    def prefetch_plan(self, arch: Architecture) -> None:
+        self.inner.prefetch_plan(arch)
 
 
 def fault_levels(minutes: float, seed: int) -> list[tuple[str,
@@ -211,6 +279,122 @@ def check_numeric_rows(rows: list[dict]) -> list[str]:
     return problems
 
 
+def proc_matrix(seed: int = 1, iterations: int = 3,
+                kill_interval: float = 0.4, max_kills: int = 4,
+                methods: tuple[str, ...] = ("a3c",)) -> list[dict]:
+    """Real-fault chaos over the supervised process backend.
+
+    Each row runs a small search with ``backend="process"`` against a
+    :class:`ChaosEvalModel` whose architectures really crash
+    (``os._exit``) and really hang, while a killer thread SIGKILLs live
+    worker processes mid-evaluation.  The supervision layer must absorb
+    all of it: crashed/hung workers are respawned, their jobs retried,
+    poison architectures quarantined to the failure reward, and the
+    search completes with supervision counters surfaced in
+    ``SearchResult.worker_stats`` and WORKER_* events in the stream.
+
+    Determinism note: rewards are pure functions of the architecture,
+    so retries — however the killer interleaves with them — return the
+    same values and the sampled trajectory stays seed-deterministic.
+    """
+    from ..evaluator.process import ProcConfig, ProcessEvaluator
+    from ..events import (QUARANTINE, WORKER_CRASH, WORKER_RESPAWN,
+                          WORKER_SPAWN, RecordingSink)
+
+    space = combo_small()
+    rows = []
+    for method in methods:
+        inner = SurrogateReward(
+            space, COMBO_PAPER_SHAPES, combo_head(),
+            TrainingCostModel.combo_paper(),
+            epochs=1, train_fraction=0.1, timeout=600.0,
+            log_params_opt=6.5, seed=7)
+        model = ChaosEvalModel(inner, crash_frac=0.10, hang_frac=0.08,
+                               hang_seconds=30.0, eval_seconds=0.05,
+                               seed=seed)
+        # generous respawn budget: quarantine (2 distinct kills) must
+        # always fire before the pool can exhaust, because the inline
+        # fallback must never execute a not-yet-quarantined poison job
+        # in the parent process
+        cfg = SearchConfig(
+            method=method, allocation=NodeAllocation(10, 2, 3),
+            wall_time=3600.0, seed=seed, backend="process",
+            max_iterations=iterations,
+            proc=ProcConfig(workers=2, job_deadline=1.0,
+                            heartbeat_interval=0.1,
+                            retry_backoff=0.02, max_respawns=50))
+        sink = RecordingSink()
+        search = NasSearch(space, model, cfg, event_sink=sink)
+
+        stop = threading.Event()
+        kills = [0]
+
+        def killer(search=search, stop=stop, kills=kills):
+            while not stop.is_set() and kills[0] < max_kills:
+                stop.wait(kill_interval)
+                pids = [pid for ev in search.evaluators
+                        if isinstance(ev, ProcessEvaluator)
+                        for pid in ev.worker_pids()]
+                if not pids:
+                    continue
+                try:
+                    os.kill(pids[kills[0] % len(pids)], signal.SIGKILL)
+                    kills[0] += 1
+                except OSError:
+                    pass    # worker exited between listing and kill
+
+        thread = threading.Thread(target=killer, daemon=True)
+        thread.start()
+        try:
+            result = search.run()
+        finally:
+            stop.set()
+            thread.join(5.0)
+        stats = result.worker_stats
+        kinds = set(sink.kinds())
+        rows.append({
+            "level": f"proc/{method}",
+            "evaluations": result.num_evaluations,
+            "best_reward": (result.best().reward
+                            if result.records else float("-inf")),
+            "failed_evals": result.num_failed_evals,
+            "failed_agents": len(result.failed_agents),
+            "external_kills": kills[0],
+            "worker_crashes": stats.get("worker_crashes", 0),
+            "worker_timeouts": stats.get("worker_timeouts", 0),
+            "respawns": stats.get("respawns", 0),
+            "quarantined": stats.get("quarantined", 0),
+            "inline_evals": stats.get("inline_evals", 0),
+            "events_ok": ({WORKER_SPAWN, WORKER_CRASH, WORKER_RESPAWN,
+                           QUARANTINE} <= kinds),
+        })
+    return rows
+
+
+def check_proc_rows(rows: list[dict]) -> list[str]:
+    """Supervision invariants over the proc profile; returns the list
+    of violations (empty = pass)."""
+    problems = []
+    for row in rows:
+        level = row["level"]
+        if row["evaluations"] == 0:
+            problems.append(f"{level}: produced no evaluations")
+        if row["failed_agents"]:
+            problems.append(
+                f"{level}: {row['failed_agents']} agent(s) lost")
+        if row["worker_crashes"] + row["worker_timeouts"] == 0:
+            problems.append(f"{level}: no worker was ever killed — the "
+                            f"profile tested nothing")
+        if row["respawns"] == 0:
+            problems.append(f"{level}: no worker was respawned")
+        if row["quarantined"] == 0:
+            problems.append(f"{level}: no architecture was quarantined")
+        if not row["events_ok"]:
+            problems.append(f"{level}: WORKER_*/QUARANTINE events missing "
+                            f"from the stream")
+    return problems
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-chaos",
@@ -224,10 +408,13 @@ def main(argv: list[str] | None = None) -> int:
                         help="allowed best-reward degradation vs "
                              "fault-free, as a fraction (default 0.05)")
     parser.add_argument("--profile", default="faults",
-                        choices=("faults", "numeric", "all"),
+                        choices=("faults", "numeric", "proc", "all"),
                         help="faults = infrastructure fault matrix; "
                              "numeric = numerical health-layer chaos; "
-                             "all = both (default faults)")
+                             "proc = real-process supervision chaos "
+                             "(SIGKILLed workers, crashing/hanging "
+                             "evals); all = every profile "
+                             "(default faults)")
     args = parser.parse_args(argv)
 
     problems: list[str] = []
@@ -256,6 +443,19 @@ def main(argv: list[str] | None = None) -> int:
                   f"{row['rollbacks']:6d} {row['restarts']:6d} "
                   f"{row['rejected_deltas']:6d} {row['failed_agents']:5d}")
         problems += check_numeric_rows(rows)
+
+    if args.profile in ("proc", "all"):
+        rows = proc_matrix(seed=args.seed)
+        print(f"{'level':12s} {'evals':>6s} {'best':>8s} {'kills':>6s} "
+              f"{'crash':>6s} {'tmout':>6s} {'respwn':>6s} {'quar':>5s} "
+              f"{'inline':>6s}")
+        for row in rows:
+            print(f"{row['level']:12s} {row['evaluations']:6d} "
+                  f"{row['best_reward']:8.4f} {row['external_kills']:6d} "
+                  f"{row['worker_crashes']:6d} {row['worker_timeouts']:6d} "
+                  f"{row['respawns']:6d} {row['quarantined']:5d} "
+                  f"{row['inline_evals']:6d}")
+        problems += check_proc_rows(rows)
 
     for problem in problems:
         print(f"chaos: FAIL — {problem}")

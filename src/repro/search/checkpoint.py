@@ -35,6 +35,7 @@ from __future__ import annotations
 
 import copy
 import json
+import os
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -114,6 +115,11 @@ class SearchCheckpoint:
     #: the v1 guard-off schema is pinned by the golden checkpoint test.
     agent_restarts: dict = field(default_factory=dict)
     agent_rollbacks: dict = field(default_factory=dict)
+    #: process-backend quarantine state: agent_id -> poison-architecture
+    #: rows (``[space, choices, kills, resubmits]``).  Empty — and not
+    #: serialized — for every other backend, keeping the pinned v1
+    #: schema unchanged; rides in the conditional ``health`` export.
+    quarantine: dict = field(default_factory=dict)
 
     # -- persistence ----------------------------------------------------
     def to_json(self) -> dict:
@@ -131,13 +137,16 @@ class SearchCheckpoint:
             "records": [_record_to_json(r) for r in self.records],
             "agents": [_agent_to_json(a) for a in self.agents],
         }
-        if self.agent_restarts or self.agent_rollbacks:
+        if self.agent_restarts or self.agent_rollbacks or self.quarantine:
             data["health"] = {
                 "agent_restarts": {str(k): int(v) for k, v
                                    in self.agent_restarts.items()},
                 "agent_rollbacks": {str(k): int(v) for k, v
                                     in self.agent_rollbacks.items()},
             }
+            if self.quarantine:
+                data["health"]["quarantine"] = {
+                    str(k): v for k, v in self.quarantine.items()}
         return data
 
     @classmethod
@@ -162,19 +171,53 @@ class SearchCheckpoint:
                             health.get("agent_restarts", {}).items()},
             agent_rollbacks={int(k): int(v) for k, v in
                              health.get("agent_rollbacks", {}).items()},
+            quarantine={int(k): v for k, v in
+                        health.get("quarantine", {}).items()},
         )
 
     def save(self, path: str | Path) -> Path:
-        """Atomically write the checkpoint as JSON."""
+        """Crash-consistently write the checkpoint as JSON.
+
+        Write-to-tmp + atomic ``replace`` alone is not enough: a host
+        crash can tear the *tmp* write (replace then publishes garbage)
+        or lose the rename itself (the data never became durable).  So
+        the tmp file is fsynced before the rename and the containing
+        directory after it — after ``save`` returns, either the old or
+        the new checkpoint survives a crash, never a torn hybrid.
+        """
         path = Path(path)
         tmp = path.with_suffix(path.suffix + ".tmp")
-        tmp.write_text(json.dumps(self.to_json()))
+        with open(tmp, "w", encoding="utf-8") as fh:
+            fh.write(json.dumps(self.to_json()))
+            fh.flush()
+            os.fsync(fh.fileno())
         tmp.replace(path)
+        try:
+            dir_fd = os.open(path.parent or Path("."), os.O_RDONLY)
+            try:
+                os.fsync(dir_fd)
+            finally:
+                os.close(dir_fd)
+        except OSError:
+            pass    # platforms without directory fsync: best effort
         return path
 
     @classmethod
     def load(cls, path: str | Path) -> "SearchCheckpoint":
-        return cls.from_json(json.loads(Path(path).read_text()))
+        """Load a checkpoint, cleaning up a stale ``.tmp`` if present.
+
+        A ``.tmp`` next to the checkpoint is the residue of a save torn
+        by a crash; the published file is the durable truth, so the
+        leftover is deleted rather than ever being read.
+        """
+        path = Path(path)
+        tmp = path.with_suffix(path.suffix + ".tmp")
+        if tmp.exists():
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+        return cls.from_json(json.loads(path.read_text()))
 
     def round_trip(self) -> "SearchCheckpoint":
         """JSON-encode and decode (what save/load does, without disk)."""

@@ -69,7 +69,9 @@ class AgentLoop:
         """The agent coroutine; returns True iff the agent converged."""
         cfg = self.config
         yield from self._startup()
-        while self.sim.now < cfg.wall_time:
+        while self.sim.now < cfg.wall_time and \
+                (cfg.max_iterations is None
+                 or self.iteration < cfg.max_iterations):
             self.hooks.on_iteration_start(self)
             actions, rollout = self._sample()
             rewards = yield from self._evaluate(actions)
@@ -122,6 +124,13 @@ class AgentLoop:
         """Submit the batch, wait for it, and log aligned rewards."""
         archs = [self.space.decode(row) for row in actions]
         batch_done = self.evaluator.add_eval_batch(archs)
+        if batch_done is None:
+            # real backend (serial/thread/process): completion is a
+            # blocking wait in host time, then a zero-length sim step so
+            # the kernel sees a yield (it rejects bare None) and the
+            # scheduler keeps interleaving agents at this boundary
+            self.evaluator.wait_all()
+            batch_done = Timeout(0.0)
         yield batch_done
         recs = self.evaluator.get_finished_evals()
         # align rewards with the rollout's row order

@@ -38,10 +38,16 @@ set, the loop is byte-for-byte the fault-free search.
 
 from __future__ import annotations
 
+import signal
+
 import numpy as np
 
 from ..evaluator.balsam import BalsamEvaluator, BalsamService
-from ..events import AGENT_DONE, CHECKPOINT, CRASH, RESTART, EventSink, emit
+from ..evaluator.process import ProcessEvaluator
+from ..evaluator.serial import SerialEvaluator
+from ..evaluator.thread import ThreadEvaluator
+from ..events import (AGENT_DONE, CHECKPOINT, CRASH, PREEMPT, RESTART,
+                      EventSink, emit)
 from ..hpc.cluster import Cluster
 from ..hpc.faults import FaultInjector
 from ..hpc.sim import Interrupt, Simulator, Timeout
@@ -105,6 +111,9 @@ class NasSearch:
         self._resume: dict[int, AgentBoundary] = {}
         self._search_end_time: float | None = None
         self._ckpt_proc = None
+        #: preemption cause (signal name or explicit request); None while
+        #: the search is allowed to keep running
+        self._preempt_cause: str | None = None
         #: checkpoints captured during run() (newest last)
         self.checkpoints: list[SearchCheckpoint] = []
         #: health-layer bookkeeping: per-agent resurrections and
@@ -122,6 +131,34 @@ class NasSearch:
         """The exchange's parameter server (None for RDM)."""
         return self.exchange.ps
 
+    def _build_evaluator(self, agent_id: int):
+        """One agent's evaluator on the configured backend.
+
+        The default "balsam" backend runs over the simulated service;
+        the real backends (serial / thread / process) execute the reward
+        model in host time.  All report record timestamps on the
+        simulator clock so the event stream stays on one timeline.
+        """
+        cfg = self.config
+        if cfg.backend == "balsam":
+            return BalsamEvaluator(
+                self.service, self.reward_model, agent_id,
+                use_cache=cfg.use_cache,
+                batch_deadline=cfg.batch_deadline, sink=self.sink)
+        clock = lambda: self.sim.now    # noqa: E731 — bound late to sim
+        if cfg.backend == "serial":
+            return SerialEvaluator(self.reward_model, agent_id,
+                                   use_cache=cfg.use_cache, clock=clock,
+                                   sink=self.sink)
+        if cfg.backend == "thread":
+            return ThreadEvaluator(
+                self.reward_model, agent_id,
+                max_workers=cfg.allocation.workers_per_agent,
+                use_cache=cfg.use_cache, clock=clock, sink=self.sink)
+        return ProcessEvaluator(self.reward_model, agent_id,
+                                config=cfg.proc, use_cache=cfg.use_cache,
+                                clock=clock, sink=self.sink)
+
     def _build_agents(self) -> None:
         """Per-agent evaluator / policy / PPO updater triples."""
         cfg = self.config
@@ -130,10 +167,7 @@ class NasSearch:
         self.updaters: list[PPOUpdater | None] = []
         self.evaluators: list[BalsamEvaluator] = []
         for agent_id in range(cfg.allocation.num_agents):
-            self.evaluators.append(BalsamEvaluator(
-                self.service, self.reward_model, agent_id,
-                use_cache=cfg.use_cache,
-                batch_deadline=cfg.batch_deadline, sink=self.sink))
+            self.evaluators.append(self._build_evaluator(agent_id))
             if not learns:
                 self.policies.append(None)
                 self.updaters.append(None)
@@ -148,6 +182,31 @@ class NasSearch:
                 entropy_coef=cfg.entropy_coef)))
 
     # ------------------------------------------------------------------
+    def request_preemption(self, cause: str = "request") -> None:
+        """Ask the search to stop at the next event boundary.
+
+        Safe to call from a signal handler or any thread: it only flips
+        a flag; the event loop observes it before its next callback,
+        where every agent is parked at a yield point and the state is
+        checkpoint-consistent.  ``run()`` then captures a resumable
+        checkpoint and returns with ``SearchResult.preempted``.
+        """
+        self._preempt_cause = cause
+
+    def _install_signal_handlers(self):
+        """SIGTERM/SIGINT → graceful preemption (restored after run)."""
+        previous = {}
+
+        def handler(signum, frame):
+            self.request_preemption(signal.Signals(signum).name)
+
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            try:
+                previous[sig] = signal.signal(sig, handler)
+            except ValueError:
+                pass    # not the main thread: run unprotected
+        return previous
+
     def run(self) -> SearchResult:
         cfg = self.config
         if self.injector is not None:
@@ -159,7 +218,28 @@ class NasSearch:
             if agent_id in self._done_agents:
                 continue
             self.sim.process(self._agent(agent_id), name=f"agent{agent_id}")
-        self.sim.run(until=cfg.wall_time)
+        previous_handlers = (self._install_signal_handlers()
+                             if cfg.preemptible else {})
+        try:
+            self.sim.run(until=cfg.wall_time,
+                         stop=(lambda: self._preempt_cause is not None)
+                         if cfg.preemptible else None)
+        finally:
+            for sig, old in previous_handlers.items():
+                signal.signal(sig, old)
+        preempted = self._preempt_cause is not None and self._live_agents > 0
+        if preempted:
+            # agents are parked at yield points; boundary trimming makes
+            # the capture resumable from any stop point
+            self._capture_checkpoint()
+            emit(self.sink, PREEMPT, self.sim.now,
+                 cause=self._preempt_cause)
+        worker_stats: dict[str, int] = {}
+        for ev in self.evaluators:
+            ev.shutdown()
+            if isinstance(ev, ProcessEvaluator):
+                for key, val in ev.stats().items():
+                    worker_stats[key] = worker_stats.get(key, 0) + val
         now = self.sim.now
         if self._live_agents == 0 and self._search_end_time is not None:
             # ignore stale timers (checkpoint clock, retry backoffs,
@@ -176,7 +256,9 @@ class NasSearch:
                                                  for ev in self.evaluators),
                             agent_digests=dict(self._digests),
                             agent_restarts=dict(self._restarts),
-                            agent_rollbacks=dict(self._rollbacks))
+                            agent_rollbacks=dict(self._rollbacks),
+                            preempted=preempted,
+                            worker_stats=worker_stats)
 
     # -- the agent wrapper ---------------------------------------------
     def _build_loop(self, agent_id: int) -> AgentLoop:
@@ -185,7 +267,8 @@ class NasSearch:
         updater = self.updaters[agent_id]
         guard = cfg.guard
         guarded = updater is not None and guard is not None and guard.enabled
-        capture = cfg.checkpoint_interval is not None or cfg.max_restarts > 0
+        capture = (cfg.checkpoint_interval is not None
+                   or cfg.max_restarts > 0 or cfg.preemptible)
         hooks = HookStack([
             BoundaryHook(self._boundaries,
                          capture_lr=guard is not None and guard.recovers)
@@ -344,6 +427,15 @@ class NasSearch:
                 agent_id, done=False, converged=False,
                 boundary=boundary, cache_entries=entries))
 
+        # process-backend poison records survive the restart, so a
+        # resumed search never re-feeds a known worker-killer to the
+        # fresh pool (empty for every other backend)
+        quarantine = {}
+        for agent_id in range(cfg.allocation.num_agents):
+            ev = self.evaluators[agent_id]
+            if isinstance(ev, ProcessEvaluator) and ev.quarantined:
+                quarantine[agent_id] = ev.quarantine_snapshot()
+
         ckpt = SearchCheckpoint(
             time=self.sim.now, seed=cfg.seed, method=cfg.method,
             space_name=self.space.name,
@@ -354,7 +446,8 @@ class NasSearch:
             converged_agents=self._converged_agents,
             failed_agents=list(self._failed_agents),
             agent_restarts=dict(self._restarts),
-            agent_rollbacks=dict(self._rollbacks))
+            agent_rollbacks=dict(self._rollbacks),
+            quarantine=quarantine)
         self.checkpoints.append(ckpt)
         if cfg.checkpoint_path is not None:
             ckpt.save(cfg.checkpoint_path)
@@ -399,6 +492,10 @@ class NasSearch:
         self._failed_agents = [tuple(fa) for fa in ckpt.failed_agents]
         self._restarts = dict(ckpt.agent_restarts)
         self._rollbacks = dict(ckpt.agent_rollbacks)
+        for agent_id, entries in ckpt.quarantine.items():
+            ev = self.evaluators[agent_id]
+            if isinstance(ev, ProcessEvaluator):
+                ev.restore_quarantine(entries)
         for agent in ckpt.agents:
             ev = self.evaluators[agent.agent_id]
             if ev.cache is not None and agent.cache_entries:

@@ -10,6 +10,7 @@ float32-specific tests in ``test_nn_engine.py`` cannot leak state.
 """
 
 import os
+import signal
 
 os.environ["REPRO_NN_DTYPE"] = "float64"
 
@@ -22,7 +23,11 @@ from repro.problems import combo_problem, nt3_problem, uno_problem
 
 #: markers that define the test tiers (see docs/testing.md); anything
 #: not explicitly tiered is "fast" — the default inner-loop suite
-_TIER_MARKERS = ("slow", "chaos", "verify", "health", "perf")
+_TIER_MARKERS = ("slow", "chaos", "verify", "health", "perf", "proc")
+
+#: hard per-test wall-clock cap (seconds) for proc-marked tests: a hung
+#: or deadlocked worker pool must never wedge tier-1
+_PROC_WATCHDOG_SECONDS = 240
 
 
 def pytest_collection_modifyitems(config, items):
@@ -31,6 +36,32 @@ def pytest_collection_modifyitems(config, items):
     for item in items:
         if not any(item.get_closest_marker(m) for m in _TIER_MARKERS):
             item.add_marker(pytest.mark.fast)
+
+
+@pytest.fixture(autouse=True)
+def _proc_watchdog(request):
+    """SIGALRM watchdog around every proc-marked test (POSIX only).
+
+    Supervision already bounds each *worker's* misbehaviour, but a bug
+    in the supervisor itself (a wait_all that never returns, a deadlock
+    on the result queue) would otherwise hang the whole test run.
+    """
+    if request.node.get_closest_marker("proc") is None \
+            or not hasattr(signal, "SIGALRM"):
+        yield
+        return
+
+    def on_alarm(signum, frame):
+        raise TimeoutError(
+            f"proc test exceeded the {_PROC_WATCHDOG_SECONDS}s watchdog")
+
+    previous = signal.signal(signal.SIGALRM, on_alarm)
+    signal.alarm(_PROC_WATCHDOG_SECONDS)
+    try:
+        yield
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, previous)
 
 
 @pytest.fixture(autouse=True)

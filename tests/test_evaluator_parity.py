@@ -15,7 +15,8 @@ and rewards, never timestamps.
 import numpy as np
 import pytest
 
-from repro.evaluator import (BalsamEvaluator, BalsamService, SerialEvaluator,
+from repro.evaluator import (BalsamEvaluator, BalsamService, ProcConfig,
+                             ProcessEvaluator, SerialEvaluator,
                              ThreadEvaluator)
 from repro.hpc import TrainingCostModel
 from repro.hpc.cluster import Cluster
@@ -112,6 +113,58 @@ def runs(space, batches):
     return {"serial": (serial, serial_rewards),
             "thread": (thread, thread_rewards),
             "balsam": (balsam, balsam_rewards)}
+
+
+@pytest.fixture(scope="module")
+def proc_run(space, batches):
+    """The same stream through the supervised process pool.
+
+    Separate from ``runs`` so the fast tier never spawns processes;
+    only the proc-marked tests below pull this fixture in.
+    """
+    ev = ProcessEvaluator(make_surrogate(space), AGENT_ID,
+                          config=ProcConfig(workers=3))
+    return ev, drive_inline(ev, space, batches)
+
+
+@pytest.mark.proc
+class TestProcessBackendParity:
+    """Deterministic mode: bit-identical rewards, fingerprints, and
+    accounting across the process boundary — retries and worker
+    scheduling may reorder completions, never change values."""
+
+    def test_identical_rewards_per_batch(self, runs, proc_run):
+        _, serial_rewards = runs["serial"]
+        _, rewards = proc_run
+        for i, (a, b) in enumerate(zip(serial_rewards, rewards)):
+            assert np.array_equal(a, b), f"process batch {i} diverged"
+
+    def test_identical_fingerprints(self, space, batches, runs, proc_run):
+        _, serial_rewards = runs["serial"]
+        _, rewards = proc_run
+        assert stream_digest(space, batches, serial_rewards) == \
+            stream_digest(space, batches, rewards)
+
+    def test_identical_broker_accounting(self, runs, proc_run):
+        serial, _ = runs["serial"]
+        ev, _ = proc_run
+        assert (serial.num_submitted, serial.num_cache_hits,
+                serial.num_failed) == (ev.num_submitted, ev.num_cache_hits,
+                                       ev.num_failed)
+        assert (serial.cache.hits, serial.cache.misses,
+                len(serial.cache)) == (ev.cache.hits, ev.cache.misses,
+                                       len(ev.cache))
+        assert ev.last_batch_all_cached is True
+
+    def test_no_supervision_interventions(self, proc_run):
+        """A fault-free run must not trip any supervision machinery."""
+        ev, _ = proc_run
+        stats = ev.stats()
+        assert stats["worker_crashes"] == 0
+        assert stats["worker_timeouts"] == 0
+        assert stats["respawns"] == 0
+        assert stats["quarantined"] == 0
+        assert stats["inline_evals"] == 0
 
 
 class TestBackendParity:

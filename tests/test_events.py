@@ -12,8 +12,9 @@ import pytest
 
 from repro.events import (AGENT_DONE, BARRIER, BATCH_STATS, CACHE_HIT,
                           EVAL_DONE, PUSH,
-                          RESTART, ROLLBACK, SUBMIT, CallbackSink, NullSink,
-                          RecordingSink, SearchEvent, TeeSink, emit)
+                          RESTART, ROLLBACK, SUBMIT, CallbackSink, JsonlSink,
+                          NullSink, RecordingSink, SearchEvent, TeeSink,
+                          emit, read_events)
 from repro.health import GuardConfig
 from repro.hpc import NodeAllocation, TrainingCostModel
 from repro.hpc.faults import FaultConfig
@@ -69,6 +70,61 @@ class TestSinks:
         ev = SearchEvent(BARRIER, 12.5, agent_id=2, iteration=1,
                          payload={"round": 4})
         assert json.loads(json.dumps(ev.to_dict()))["payload"]["round"] == 4
+
+
+class TestJsonlSink:
+    def test_streams_one_line_per_event(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with JsonlSink(path) as sink:
+            emit(sink, SUBMIT, 0.0, 1, count=4)
+            # flushed per event: readable while the sink is still open
+            assert len(path.read_text().splitlines()) == 1
+            emit(sink, EVAL_DONE, 1.0, 1, reward=0.5, failed=False)
+            assert sink.num_written == 2
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        assert json.loads(lines[0])["kind"] == SUBMIT
+
+    def test_read_events_round_trip(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        sent = [SearchEvent(SUBMIT, 0.0, agent_id=1, payload={"count": 2}),
+                SearchEvent(PUSH, 2.0, agent_id=0, iteration=3,
+                            payload={"mode": "a3c"})]
+        with JsonlSink(path) as sink:
+            for ev in sent:
+                sink.emit(ev)
+        back = read_events(path)
+        assert [e.to_dict() for e in back] == [e.to_dict() for e in sent]
+
+    def test_torn_trailing_line_is_dropped(self, tmp_path):
+        """A crash mid-write leaves a truncated last line; the reader
+        recovers every complete event and drops only the torn tail."""
+        path = tmp_path / "events.jsonl"
+        with JsonlSink(path) as sink:
+            emit(sink, SUBMIT, 0.0, 1, count=1)
+            emit(sink, EVAL_DONE, 1.0, 1, reward=0.5)
+        with open(path, "a") as fh:
+            fh.write('{"kind": "push", "time": 2.0, "agent')   # no newline
+        events = read_events(path)
+        assert [e.kind for e in events] == [SUBMIT, EVAL_DONE]
+
+    def test_malformed_mid_file_line_raises(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with JsonlSink(path) as sink:
+            emit(sink, SUBMIT, 0.0, 1)
+        with open(path, "a") as fh:
+            fh.write("not json\n")
+            fh.write('{"kind": "push", "time": 2.0, "agent_id": 0, '
+                     '"iteration": null, "payload": {}}\n')
+        with pytest.raises(ValueError):
+            read_events(path)
+
+    def test_close_is_idempotent(self, tmp_path):
+        sink = JsonlSink(tmp_path / "events.jsonl")
+        emit(sink, SUBMIT, 0.0, 1)
+        sink.close()
+        sink.close()
+        assert sink.num_written == 1
 
 
 class TestSearchStream:
