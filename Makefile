@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-fast lint smoke chaos verify bench bench-quick bench-check
+.PHONY: test test-fast lint smoke chaos verify bench bench-quick bench-check bench-table
 
 ## label recorded with each 'make bench' entry in BENCH_substrate.json
 BENCH_LABEL ?= dev
@@ -38,10 +38,24 @@ lint:
 
 ## substrate smoke check: lint gate + core NN/RL tests + one quick
 ## benchmark pass + the bench regression gate over BENCH_substrate.json
-smoke: lint
+smoke: lint bench-table
 	$(PYTHON) -m repro.perf --help >/dev/null  # import sanity
 	$(PYTHON) -c "import sys; from repro.perf import smoke; sys.exit(smoke([]))"
 	$(PYTHON) tools/check_bench.py
+
+## tabular-benchmark smoke: sweep a tiny capped Combo sub-space into a
+## resumable arch→metrics table (repro.bench), re-enter it to prove the
+## resume path, then replay seeded a3c/rdm searches against the table
+## and print the exact-regret comparison (docs/benchmark.md)
+bench-table:
+	rm -rf .bench_table
+	$(PYTHON) -m repro.bench sweep --problem combo --cap-ops 2 --cap 128 \
+		--out .bench_table --backend thread --workers 2 --shard-size 64
+	$(PYTHON) -m repro.bench sweep --problem combo --cap-ops 2 --cap 128 \
+		--out .bench_table --backend thread --workers 2 --shard-size 64
+	$(PYTHON) -m repro.bench info .bench_table
+	$(PYTHON) -m repro.bench compare .bench_table --methods a3c,rdm \
+		--runs 2 --minutes 10 --agents 2 --workers 3
 
 ## fault-matrix smoke: seeded fault injection at several failure rates,
 ## bounded reward degradation, the numerical health-layer profile

@@ -1,0 +1,15 @@
+"""Tabular NAS benchmark mode (NAS-Bench-201-style, for this paper's
+spaces): sweep a (capped) search space once into a crash-consistent
+arch→metrics table, then replay searches against it with O(1) reward
+lookups and *exact* regret analytics.  See ``docs/benchmark.md``.
+"""
+
+from .subspace import capped_space, enumerate_space, enumeration_count
+from .sweep import SpaceSweeper, SweepConfig, SweepReport, sweep_space
+from .table import (TABLE_FORMAT_VERSION, ArchTable, TableRow,
+                    TableWriter)
+
+__all__ = ["ArchTable", "SpaceSweeper", "SweepConfig", "SweepReport",
+           "TABLE_FORMAT_VERSION", "TableRow", "TableWriter",
+           "capped_space", "enumerate_space", "enumeration_count",
+           "sweep_space"]

@@ -1,0 +1,135 @@
+"""Sub-space construction and deterministic space enumeration.
+
+A benchmark table is only buildable for a space you can afford to sweep.
+The paper's spaces are exactly enumerable in principle (§3.1 computes
+their cardinalities) but astronomically large in practice, so this
+module provides the two standard reductions:
+
+* :func:`capped_space` — rebuild a :class:`~repro.nas.space.Structure`
+  with every variable node truncated to its first ``max_ops`` options.
+  Topology, constant nodes, mirror targets and extra edges are
+  preserved, so the capped space is a true sub-space whose cardinality
+  is exactly ``prod(min(max_ops, num_ops))``;
+* :func:`enumerate_space` — a deterministic, duplicate-free architecture
+  stream: exhaustive mixed-radix enumeration when the cardinality fits
+  the cap, otherwise a seeded stratified sample (every option of every
+  decision appears in near-equal proportion — a Latin-hypercube-style
+  column design) of exactly ``cap`` distinct architectures.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from ..nas.arch import Architecture
+from ..nas.nodes import ConstantNode, MirrorNode, VariableNode
+from ..nas.space import Block, Cell, Structure
+
+__all__ = ["capped_space", "enumerate_space", "enumeration_count"]
+
+
+def capped_space(space: Structure, max_ops: int,
+                 name: str | None = None) -> Structure:
+    """A sub-space of ``space`` keeping each decision's first
+    ``max_ops`` options (nodes with fewer options keep them all)."""
+    if max_ops < 1:
+        raise ValueError("max_ops must be at least 1")
+    out = Structure(name or f"{space.name}#cap{max_ops}",
+                    list(space.inputs),
+                    output_sources=(list(space.output_sources)
+                                    if isinstance(space.output_sources, list)
+                                    else space.output_sources))
+    mapping: dict[int, VariableNode | ConstantNode] = {}
+    for cell in space.cells:
+        new_cell = Cell(cell.name)
+        for block in cell.blocks:
+            new_block = Block(block.name, list(block.inputs))
+            for idx, node in enumerate(block.nodes):
+                if isinstance(node, VariableNode):
+                    new_node = VariableNode(node.name, node.ops[:max_ops])
+                elif isinstance(node, ConstantNode):
+                    new_node = ConstantNode(node.name, node.op)
+                elif isinstance(node, MirrorNode):
+                    new_node = MirrorNode(node.name,
+                                          mapping[id(node.target)])
+                else:
+                    raise TypeError(f"unknown node type {type(node)}")
+                mapping[id(node)] = new_node
+                new_block.add_node(new_node, block.extra_inputs.get(idx))
+            new_cell.add_block(new_block)
+        out.add_cell(new_cell)
+    out.validate()
+    return out
+
+
+def enumeration_count(space: Structure, cap: int | None = None) -> int:
+    """Exactly how many architectures :func:`enumerate_space` yields."""
+    if cap is None or space.size <= cap:
+        return space.size
+    return cap
+
+
+def _exhaustive(space: Structure) -> Iterator[Architecture]:
+    """Mixed-radix odometer over the action dims, lowest decision
+    fastest — lexicographic, duplicate-free, exactly ``space.size``."""
+    dims = space.action_dims
+    if not dims:
+        yield Architecture(space.name, ())
+        return
+    counter = [0] * len(dims)
+    while True:
+        yield Architecture(space.name, tuple(counter))
+        for i in range(len(dims) - 1, -1, -1):
+            counter[i] += 1
+            if counter[i] < dims[i]:
+                break
+            counter[i] = 0
+        else:
+            return
+
+
+def _stratified(space: Structure, cap: int,
+                seed: int) -> Iterator[Architecture]:
+    """Seeded stratified sample of exactly ``cap`` distinct archs.
+
+    Each decision's column is built by tiling its options to length
+    ``cap`` and permuting independently, so every option appears within
+    one count of equally often.  Column permutations are independent,
+    so row collisions are possible but rare; colliding rows are
+    deterministically topped up with uniform redraws.
+    """
+    rng = np.random.default_rng(seed)
+    dims = space.action_dims
+    columns = []
+    for d in dims:
+        col = np.tile(np.arange(d), cap // d + 1)[:cap]
+        columns.append(rng.permutation(col))
+    seen: set[tuple[int, ...]] = set()
+    for row in range(cap):
+        choices = tuple(int(columns[i][row]) for i in range(len(dims)))
+        if choices not in seen:
+            seen.add(choices)
+            yield Architecture(space.name, choices)
+    while len(seen) < cap:    # top up the (rare) collisions
+        choices = tuple(int(rng.integers(d)) for d in dims)
+        if choices not in seen:
+            seen.add(choices)
+            yield Architecture(space.name, choices)
+
+
+def enumerate_space(space: Structure, cap: int | None = None,
+                    seed: int = 0) -> Iterator[Architecture]:
+    """Deterministic, duplicate-free stream of the space's architectures.
+
+    Exhaustive (lexicographic) when ``cap`` is None or the space's
+    cardinality fits under it; otherwise a seeded stratified sample of
+    exactly ``cap`` architectures.  Same (space, cap, seed) ⇒ same
+    stream, which is what makes sweeps resumable and comparable.
+    """
+    if cap is not None and cap < 1:
+        raise ValueError("cap must be positive")
+    if cap is None or space.size <= cap:
+        return _exhaustive(space)
+    return _stratified(space, cap, seed)

@@ -16,6 +16,9 @@ Commands
 ``verify``
     Run the correctness battery (differential tester, gradient checks,
     determinism fingerprints); see ``python -m repro.verify --help``.
+``bench``
+    Tabular benchmark mode (sweep / info / compare); see
+    ``python -m repro.bench --help`` and ``docs/benchmark.md``.
 """
 
 from __future__ import annotations
@@ -187,6 +190,12 @@ def _cmd_verify(args) -> int:
     return verify_main(args.verify_args or ["all"])
 
 
+def _cmd_bench(args) -> int:
+    """Forward to the tabular-benchmark CLI."""
+    from .bench.cli import main as bench_main
+    return bench_main(args.bench_args or ["--help"])
+
+
 _FIGURES = ("fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig11",
             "fig13", "table1")
 
@@ -346,6 +355,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("verify_args", nargs=argparse.REMAINDER,
                    help="arguments for python -m repro.verify")
     p.set_defaults(fn=_cmd_verify)
+
+    p = sub.add_parser("bench",
+                       help="tabular benchmark mode (see repro.bench)")
+    p.add_argument("bench_args", nargs=argparse.REMAINDER,
+                   help="arguments for python -m repro.bench")
+    p.set_defaults(fn=_cmd_bench)
     return parser
 
 

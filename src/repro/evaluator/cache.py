@@ -12,13 +12,22 @@ generates cache hits).
 from __future__ import annotations
 
 from ..nas.arch import Architecture
+from ..nas.plancache import exact_key
 from ..rewards.base import EvalResult
 
 __all__ = ["EvalCache"]
 
 
 class EvalCache:
-    """Maps architecture keys to results for one agent."""
+    """Maps architecture keys to results for one agent.
+
+    Keys are the *exact* ``(space, choices)`` keys from
+    :func:`repro.nas.plancache.exact_key` — deliberately not the
+    isomorphism signature: the same structure evaluated from a different
+    action sequence draws different agent-specific weights, so exact
+    keying is load-bearing for the paper's protocol (the signature-keyed
+    store is the bench table, :mod:`repro.bench`).
+    """
 
     def __init__(self) -> None:
         self._store: dict[tuple, EvalResult] = {}
@@ -26,7 +35,7 @@ class EvalCache:
         self.misses = 0
 
     def get(self, arch: Architecture) -> EvalResult | None:
-        result = self._store.get(arch.key)
+        result = self._store.get(exact_key(arch))
         if result is None:
             self.misses += 1
         else:
@@ -34,10 +43,10 @@ class EvalCache:
         return result
 
     def put(self, arch: Architecture, result: EvalResult) -> None:
-        self._store[arch.key] = result
+        self._store[exact_key(arch)] = result
 
     def __contains__(self, arch: Architecture) -> bool:
-        return arch.key in self._store
+        return exact_key(arch) in self._store
 
     # -- checkpoint support -------------------------------------------
     def snapshot(self, limit: int | None = None) -> list:

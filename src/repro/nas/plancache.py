@@ -37,9 +37,21 @@ from .builder import Plan, compile_architecture
 from .ops import Operation
 from .space import Structure
 
-__all__ = ["PlanCache", "plan_signature"]
+__all__ = ["PlanCache", "SignatureResolver", "exact_key", "plan_signature"]
 
 Shape = tuple[int, ...]
+
+
+def exact_key(arch) -> tuple:
+    """The raw ``(space, choices)`` cache key of an architecture.
+
+    Every layer that keys architectures by their action sequence — the
+    agent-local :class:`~repro.evaluator.cache.EvalCache`, the exact
+    level of :class:`PlanCache`, the bench table's sequence index — goes
+    through this one helper, so "what exactly identifies an action
+    sequence" is defined in a single place.
+    """
+    return (arch.space, tuple(int(c) for c in arch.choices))
 
 
 def _op_token(op: Operation | None) -> str | None:
@@ -73,6 +85,65 @@ def plan_signature(plan: Plan) -> str:
     }
     blob = json.dumps(payload, separators=(",", ":")).encode()
     return hashlib.sha256(blob).hexdigest()
+
+
+class SignatureResolver:
+    """Memoized ``architecture -> plan_signature`` mapping for one space.
+
+    The isomorphism signature is the canonical identity of an
+    architecture: distinct action sequences that compile to the same DAG
+    share one signature.  Both the tabular benchmark
+    (:mod:`repro.bench`) and its :class:`~repro.rewards.tabular.
+    TabularReward` key their rows by it, so "which table row does this
+    architecture belong to" is answered here, once — not re-derived with
+    raw ``(space, choices)`` keys in each consumer.
+
+    Compiles go through an optional shared :class:`PlanCache`; resolved
+    signatures are memoized per choice tuple, so repeated lookups of the
+    same architecture (a converged search hammering one arch) are pure
+    dict reads.
+    """
+
+    def __init__(self, structure: Structure,
+                 input_shapes: dict[str, Shape], head_ops=None,
+                 plan_cache: "PlanCache | None" = None) -> None:
+        self.structure = structure
+        self.input_shapes = dict(input_shapes)
+        self.head_ops = None if head_ops is None else list(head_ops)
+        self.plan_cache = plan_cache
+        self._memo: dict[tuple[int, ...], str] = {}
+
+    def _compile(self, choices) -> Plan:
+        if self.plan_cache is not None:
+            return self.plan_cache.get_or_compile(
+                self.structure, choices, self.input_shapes, self.head_ops)
+        return compile_architecture(self.structure, choices,
+                                    self.input_shapes, self.head_ops)
+
+    def signature(self, arch) -> str:
+        """Canonical signature of ``arch``; raises on an architecture
+        that does not compile (invalid in this space)."""
+        space, choices = exact_key(arch)
+        if space != self.structure.name:
+            raise ValueError(
+                f"architecture of space {space!r} resolved against "
+                f"{self.structure.name!r}")
+        sig = self._memo.get(choices)
+        if sig is None:
+            if len(self._memo) > 500_000:     # bound memory at scale
+                self._memo.clear()
+            sig = plan_signature(self._compile(choices))
+            self._memo[choices] = sig
+        return sig
+
+    def try_signature(self, arch) -> str | None:
+        """Like :meth:`signature` but ``None`` for architectures that
+        fail to compile — the uniform "invalid architecture" signal the
+        reward models map to ``FAILURE_REWARD``."""
+        try:
+            return self.signature(arch)
+        except (ValueError, KeyError, FloatingPointError, OverflowError):
+            return None
 
 
 class PlanCache:

@@ -4,6 +4,7 @@ from .adaptive import AdaptiveFidelityReward
 from .base import EvalResult, RewardModel
 from .composite import CompositeReward
 from .surrogate import SurrogateReward
+from .tabular import TableMiss, TabularReward
 from .training import TrainingReward, arch_seed
 
-__all__ = ['AdaptiveFidelityReward', 'CompositeReward', 'EvalResult', 'RewardModel', 'SurrogateReward', 'TrainingReward', 'arch_seed']
+__all__ = ['AdaptiveFidelityReward', 'CompositeReward', 'EvalResult', 'RewardModel', 'SurrogateReward', 'TableMiss', 'TabularReward', 'TrainingReward', 'arch_seed']

@@ -249,6 +249,22 @@ class SearchResult:
             out[i] = (rec.time / 60.0, best)
         return out
 
+    def regret_trajectory(self, optimum: float) -> np.ndarray:
+        """(minutes, exact regret of best-so-far) rows against a known
+        global optimum — e.g. ``table.optimum().reward`` of the bench
+        table the run replayed (:mod:`repro.bench`)."""
+        from ..analytics.regret import regret_trajectory
+        return regret_trajectory(self.records, optimum)
+
+    def fraction_of_optimum(self, optimum: float,
+                            floor: float = -1.0) -> np.ndarray:
+        """(minutes, best-so-far normalized over [floor, optimum]) rows;
+        1.0 means the exact optimum was found (floor defaults to the
+        failure reward)."""
+        from ..analytics.regret import fraction_of_optimum_trajectory
+        return fraction_of_optimum_trajectory(self.records, optimum,
+                                              floor=floor)
+
     def utilization_trace(self, bin_minutes: float = 5.0
                           ) -> list[tuple[float, float]]:
         """(minutes, utilization) bins over the run."""

@@ -1,0 +1,38 @@
+"""Shared builders for the tabular-benchmark tests (not collected:
+``python_files`` only matches ``test_*.py`` / ``bench_*.py``)."""
+
+from repro.bench import SweepConfig, capped_space, sweep_space
+from repro.hpc import TrainingCostModel
+from repro.nas.spaces import get_space
+from repro.problems.combo import COMBO_PAPER_SHAPES, combo_head
+from repro.rewards import SurrogateReward
+
+#: the metadata shape the CLI records — tests reuse it so resume
+#: compatibility is exercised with realistic manifests
+CLI_METADATA = {"problem": "combo", "size": "small", "scale": 0.05,
+                "cap_ops": 2, "cap": None, "seed": 0,
+                "reward": {"kind": "surrogate", "landscape_seed": 7,
+                           "fraction": 1.0}}
+
+
+def capped_combo(cap_ops: int = 2):
+    """The standard test sub-space: combo-small with 2 options per
+    decision (2^13 = 8192 architectures, exactly enumerable)."""
+    return capped_space(get_space("combo-small", scale=0.05), cap_ops)
+
+
+def combo_surrogate(space, seed: int = 7) -> SurrogateReward:
+    return SurrogateReward(space, COMBO_PAPER_SHAPES, combo_head(),
+                           TrainingCostModel.combo_paper(), epochs=1,
+                           train_fraction=1.0, timeout=600.0, seed=seed)
+
+
+def sweep_combo_table(out_dir, cap: int | None = 80, **cfg_kwargs):
+    """Sweep a capped-combo table into ``out_dir``; returns
+    (space, report)."""
+    space = capped_combo()
+    metadata = dict(CLI_METADATA, cap=cap)
+    report = sweep_space(space, combo_surrogate(space), out_dir,
+                         SweepConfig(cap=cap, **cfg_kwargs),
+                         metadata=metadata)
+    return space, report

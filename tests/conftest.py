@@ -23,10 +23,12 @@ from repro.problems import combo_problem, nt3_problem, uno_problem
 
 #: markers that define the test tiers (see docs/testing.md); anything
 #: not explicitly tiered is "fast" — the default inner-loop suite
-_TIER_MARKERS = ("slow", "chaos", "verify", "health", "perf", "proc")
+_TIER_MARKERS = ("slow", "chaos", "verify", "health", "perf", "proc",
+                 "bench")
 
-#: hard per-test wall-clock cap (seconds) for proc-marked tests: a hung
-#: or deadlocked worker pool must never wedge tier-1
+#: hard per-test wall-clock cap (seconds) for proc- and bench-marked
+#: tests: a hung or deadlocked worker pool (or a sweep subprocess that
+#: never reaches its kill point) must never wedge tier-1
 _PROC_WATCHDOG_SECONDS = 240
 
 
@@ -44,9 +46,12 @@ def _proc_watchdog(request):
 
     Supervision already bounds each *worker's* misbehaviour, but a bug
     in the supervisor itself (a wait_all that never returns, a deadlock
-    on the result queue) would otherwise hang the whole test run.
+    on the result queue) would otherwise hang the whole test run.  The
+    same cap guards bench-marked tests, whose kill/resume scenarios
+    poll sweep subprocesses.
     """
-    if request.node.get_closest_marker("proc") is None \
+    if (request.node.get_closest_marker("proc") is None
+            and request.node.get_closest_marker("bench") is None) \
             or not hasattr(signal, "SIGALRM"):
         yield
         return

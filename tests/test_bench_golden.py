@@ -1,0 +1,91 @@
+"""Golden-file test pinning the bench-table v1 wire format.
+
+Same contract as the checkpoint golden: the schema (recursive key →
+type-name mapping) of a real swept table's ``manifest.json`` and of one
+shard row is pinned in ``tests/golden/``.  Tables on disk must stay
+loadable, so renaming, removing, or re-typing a field requires bumping
+``TABLE_FORMAT_VERSION`` and updating the golden file deliberately.
+
+Regenerate (after an intentional format bump) with::
+
+    PYTHONPATH=src:tests python tests/test_bench_golden.py
+"""
+
+import json
+from pathlib import Path
+
+from repro.bench import ArchTable
+from repro.bench.table import TABLE_FORMAT_VERSION
+
+from _bench_common import sweep_combo_table
+
+GOLDEN = Path(__file__).parent / "golden" / "bench_table_v1_schema.json"
+
+
+def schema_of(obj):
+    """Recursive key -> type-name schema; lists collapse to their first
+    element's schema (the formats here are homogeneous)."""
+    if isinstance(obj, dict):
+        return {key: schema_of(value) for key, value in sorted(obj.items())}
+    if isinstance(obj, list):
+        return ["empty"] if not obj else [schema_of(obj[0])]
+    if obj is None:
+        return "null"
+    if isinstance(obj, bool):
+        return "bool"
+    if isinstance(obj, int):
+        return "int"
+    if isinstance(obj, float):
+        return "float"
+    if isinstance(obj, str):
+        return "str"
+    return type(obj).__name__
+
+
+def make_table(tmp_dir):
+    """A real (tiny) sweep, so the golden pins what the sweeper actually
+    writes — CLI-shaped metadata included — with at least one sealed
+    shard in the manifest."""
+    sweep_combo_table(tmp_dir, cap=20, shard_size=8)
+    manifest = json.loads((Path(tmp_dir) / "manifest.json").read_text())
+    shard = Path(tmp_dir) / manifest["shards"][0]["name"]
+    row = json.loads(shard.read_text().splitlines()[0])
+    return manifest, row
+
+
+def test_bench_table_v1_schema_is_pinned(tmp_path):
+    manifest, row = make_table(tmp_path)
+    assert manifest["version"] == TABLE_FORMAT_VERSION == 1
+    golden = json.loads(GOLDEN.read_text())
+    assert {"manifest": schema_of(manifest),
+            "row": schema_of(row)} == golden, (
+        "bench-table wire format changed; if intentional, bump "
+        "TABLE_FORMAT_VERSION and regenerate tests/golden/ (see module "
+        "docstring)")
+
+
+def test_golden_snapshot_is_not_vacuous(tmp_path):
+    manifest, row = make_table(tmp_path)
+    assert manifest["shards"], "no sealed shard captured"
+    assert manifest["total_rows"] > 0
+    assert manifest["metadata"], "no metadata captured"
+    assert {"sig", "space", "choices", "reward", "duration", "params",
+            "timed_out"} <= set(row)
+    assert row["choices"], "no choices captured"
+
+
+def test_golden_round_trips_through_loader(tmp_path):
+    make_table(tmp_path)
+    table = ArchTable.load(tmp_path)
+    assert len(table) > 0
+    assert table.fingerprint() == ArchTable.load(tmp_path).fingerprint()
+
+
+if __name__ == "__main__":  # regenerate the golden file
+    import tempfile
+    GOLDEN.parent.mkdir(parents=True, exist_ok=True)
+    with tempfile.TemporaryDirectory() as tmp:
+        manifest, row = make_table(tmp)
+    GOLDEN.write_text(json.dumps({"manifest": schema_of(manifest),
+                                  "row": schema_of(row)}, indent=2) + "\n")
+    print(f"wrote {GOLDEN}")
