@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-fast lint smoke chaos verify bench bench-quick bench-check bench-table
+.PHONY: test test-fast lint smoke chaos crashfuzz verify bench bench-quick bench-check bench-table
 
 ## label recorded with each 'make bench' entry in BENCH_substrate.json
 BENCH_LABEL ?= dev
@@ -38,10 +38,13 @@ lint:
 
 ## substrate smoke check: lint gate + core NN/RL tests + one quick
 ## benchmark pass + the bench regression gate over BENCH_substrate.json
+## + a bounded crash-point fuzzing pass (one method/backend cell)
 smoke: lint bench-table
 	$(PYTHON) -m repro.perf --help >/dev/null  # import sanity
 	$(PYTHON) -c "import sys; from repro.perf import smoke; sys.exit(smoke([]))"
 	$(PYTHON) tools/check_bench.py
+	$(PYTHON) -m repro.search.chaos --profile crashpoint \
+		--methods a3c --backends serial --points 2
 
 ## tabular-benchmark smoke: sweep a tiny capped Combo sub-space into a
 ## resumable arch→metrics table (repro.bench), re-enter it to prove the
@@ -65,7 +68,15 @@ bench-table:
 ## proc-marked pytest suites
 chaos:
 	$(PYTHON) -m repro.search.chaos --profile all
-	$(PYTHON) -m pytest -q -m "chaos or health or proc"
+	$(PYTHON) -m pytest -q -m "chaos or health or proc or crashfuzz"
+
+## crash-point fuzzing: SIGKILL a journaled search subprocess at
+## stratified journal records, resume from the write-ahead journal, and
+## assert bit-identical fingerprints with zero re-evaluated
+## architectures (docs/robustness.md); then the crashfuzz pytest tier
+crashfuzz:
+	$(PYTHON) -m repro.search.chaos --profile crashpoint
+	$(PYTHON) -m pytest -q -m crashfuzz
 
 ## record substrate baselines into BENCH_substrate.json (labeled entry),
 ## then run the regression gate over the updated history

@@ -34,6 +34,8 @@ import os
 from dataclasses import dataclass
 from pathlib import Path
 
+from ..util.atomicio import atomic_write_json
+
 __all__ = ["TABLE_FORMAT_VERSION", "TableRow", "TableWriter", "ArchTable"]
 
 TABLE_FORMAT_VERSION = 1
@@ -70,22 +72,11 @@ class TableRow:
 
 
 def _atomic_write_json(path: Path, data: dict) -> None:
-    """The PR-7 atomic-publish pattern: tmp write + fsync, rename,
-    directory fsync — a crash leaves either the old or the new file."""
-    tmp = path.with_suffix(path.suffix + ".tmp")
-    with open(tmp, "w", encoding="utf-8") as fh:
-        fh.write(json.dumps(data, separators=(",", ":"), sort_keys=True))
-        fh.flush()
-        os.fsync(fh.fileno())
-    tmp.replace(path)
-    try:
-        dir_fd = os.open(path.parent or Path("."), os.O_RDONLY)
-        try:
-            os.fsync(dir_fd)
-        finally:
-            os.close(dir_fd)
-    except OSError:
-        pass    # platforms without directory fsync: best effort
+    """The PR-7 atomic-publish pattern, via the shared helper: tmp write
+    + fsync, rename, directory fsync — a crash leaves either the old or
+    the new file.  Keeps the compact sorted byte format the manifest
+    hash tests pin."""
+    atomic_write_json(path, data, separators=(",", ":"), sort_keys=True)
 
 
 def _read_rows(path: Path, tolerant: bool = False) -> list[TableRow]:

@@ -42,7 +42,7 @@ from .problems.nt3 import NT3_PAPER_SHAPES, nt3_head
 from .problems.uno import UNO_PAPER_SHAPES, uno_head
 from .events import JsonlSink
 from .rewards import SurrogateReward
-from .search import NasSearch, SearchConfig
+from .search import NasSearch, SearchConfig, resume_durable
 from .search.checkpoint import SearchCheckpoint
 
 __all__ = ["main"]
@@ -97,7 +97,13 @@ def _cmd_search(args) -> int:
                        max_iterations=getattr(args, "iterations", None),
                        preemptible=getattr(args, "preempt", False),
                        checkpoint_path=getattr(args, "checkpoint_path",
-                                               None))
+                                               None),
+                       journal_dir=getattr(args, "journal_dir", None),
+                       journal_fsync_every=getattr(args,
+                                                   "journal_fsync_every",
+                                                   None),
+                       checkpoint_every_records=getattr(
+                           args, "checkpoint_every_records", None))
     print(f"running {args.method} on {space.name} "
           f"({alloc.num_agents} agents x {alloc.workers_per_agent} "
           f"workers, {args.minutes:.0f} simulated min, "
@@ -105,15 +111,25 @@ def _cmd_search(args) -> int:
     # the event stream goes straight to disk, one flushed line per
     # event, so a crashed or preempted run keeps everything emitted so
     # far (a torn trailing line is tolerated by events.read_events)
-    sink = JsonlSink(args.events) if getattr(args, "events", None) else None
+    sink = (JsonlSink(args.events,
+                      fsync_every=getattr(args, "events_fsync_every", None))
+            if getattr(args, "events", None) else None)
     resume_path = getattr(args, "resume", None)
     try:
-        if resume_path:
+        if getattr(args, "resume_durable", False):
+            # crash-anywhere restart: load the newest intact checkpoint
+            # generation and replay the journal suffix so completed
+            # evaluations are never re-executed
+            search = resume_durable(space, reward, cfg, event_sink=sink)
+        elif resume_path:
             ckpt = SearchCheckpoint.load(resume_path)
             search = NasSearch(space, reward, cfg, resume_from=ckpt,
                                event_sink=sink)
         else:
             search = NasSearch(space, reward, cfg, event_sink=sink)
+        if search.num_replay_loaded:
+            print(f"resume: {search.num_replay_loaded} journaled "
+                  f"evaluation(s) armed for replay")
         result = search.run()
     finally:
         if sink is not None:
@@ -301,6 +317,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--events",
                    help="write the structured search-event stream "
                         "(repro.events) as JSON lines here")
+    p.add_argument("--events-fsync-every", type=int, metavar="N",
+                   help="fsync the --events stream every Nth record "
+                        "(default: flush only, no fsync)")
     p.add_argument("--guard-mode", choices=("off", "check", "recover"),
                    default="off",
                    help="numerical health guards (repro.health): check "
@@ -330,6 +349,24 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--resume",
                    help="resume from a checkpoint JSON written by "
                         "--checkpoint-path")
+    p.add_argument("--journal-dir",
+                   help="durability root: write a checksummed "
+                        "write-ahead journal of every search event plus "
+                        "verified checkpoint generations under this "
+                        "directory (repro.search.journal)")
+    p.add_argument("--journal-fsync-every", type=int, metavar="N",
+                   help="fsync the journal every Nth record (default: "
+                        "flush only; requires --journal-dir)")
+    p.add_argument("--checkpoint-every-records", type=int, metavar="N",
+                   help="capture a checkpoint every N reward records — "
+                        "the durability clock that works on every "
+                        "backend, including host-time ones where the "
+                        "simulated interval timer never fires")
+    p.add_argument("--resume-durable", action="store_true",
+                   help="resume a crashed run from --journal-dir: load "
+                        "the newest intact checkpoint generation and "
+                        "replay the journal suffix (completed "
+                        "evaluations are never re-executed)")
     p.set_defaults(fn=_cmd_search)
 
     p = sub.add_parser("analyze", help="summarize a search log")

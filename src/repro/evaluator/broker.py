@@ -27,14 +27,40 @@ event.
 from __future__ import annotations
 
 import time
+from collections import deque
+from dataclasses import dataclass
 
 from ..events import BATCH_STATS, CACHE_HIT, EVAL_DONE, SUBMIT, EventSink, emit
 from ..nas.arch import Architecture
+from ..nas.plancache import exact_key
 from ..rewards.base import EvalResult, RewardModel
 from .base import EvalRecord, Evaluator
 from .cache import EvalCache
 
-__all__ = ["EvalBackend", "RewardModelBackend", "EvalBroker"]
+__all__ = ["EvalBackend", "RewardModelBackend", "ReplayEval", "EvalBroker"]
+
+
+@dataclass(frozen=True)
+class ReplayEval:
+    """One journaled completed evaluation, ready to be re-served.
+
+    Built from the write-ahead journal's ``eval-done`` records
+    (:func:`repro.search.journal.build_replay`) and loaded into a broker
+    via :meth:`EvalBroker.load_replay`: when the resumed search re-submits
+    the same architecture, the broker answers from this entry — same
+    reward, same recorded completion time, *not* a cache hit — instead
+    of re-executing the reward model.  Failures replay as failures
+    (``FAILURE_REWARD``, never cached), exactly like the original run.
+    """
+
+    key: tuple                  # exact (space, choices) architecture key
+    reward: float
+    duration: float
+    params: int
+    timed_out: bool
+    nonfinite: bool
+    failed: bool
+    end_time: float             # the original completion timestamp
 
 
 class EvalBackend:
@@ -83,6 +109,11 @@ class EvalBroker(Evaluator):
         #: reward model whose plan cache batches warm (None = no gather)
         self.plan_source = plan_source
         self._finished: list[EvalRecord] = []
+        #: journal-replay store: arch key -> FIFO of completed evals the
+        #: resumed run must re-serve instead of re-executing
+        self._replay: dict[tuple, deque[ReplayEval]] = {}
+        #: evaluations answered from the replay store (resume accounting)
+        self.num_replayed = 0
 
     # -- shared bookkeeping -------------------------------------------
     def _begin_batch(self, archs: list[Architecture]) -> None:
@@ -94,10 +125,17 @@ class EvalBroker(Evaluator):
             return
         # batched gather: compile each distinct architecture once, up
         # front, so dispatch hits warm plans (prefetch_plan never
-        # raises — invalid architectures fail at execution time)
+        # raises — invalid architectures fail at execution time).
+        # Architectures the journal replay will answer are not compiled
+        # at all — their results never execute, so a warm plan would be
+        # pure waste (the plan hit/miss tallies of a resumed run's
+        # batch-stats therefore differ from the original run's; the
+        # batch/distinct counts still match).
         distinct = {arch.key: arch for arch in archs}
         before = plan_cache.stats()
         for arch in distinct.values():
+            if self._replay and self._replay.get(exact_key(arch)):
+                continue
             source.prefetch_plan(arch)
         after = plan_cache.stats()
         emit(self.sink, BATCH_STATS, self.clock(), self.agent_id,
@@ -129,13 +167,21 @@ class EvalBroker(Evaluator):
     def _complete(self, arch: Architecture, result: EvalResult,
                   submit_time: float, start_time: float,
                   end_time: float) -> None:
-        """Deliver one successful evaluation: cache it, queue the record."""
+        """Deliver one successful evaluation: cache it, queue the record.
+
+        The ``eval-done`` payload carries everything a journal replay
+        needs to re-serve the evaluation without re-executing it: the
+        architecture, the full result tuple, and (as the event time) the
+        completion timestamp.
+        """
         if self.cache is not None:
             self.cache.put(arch, result)
         self._finished.append(EvalRecord(
             arch, result, self.agent_id, submit_time, start_time, end_time))
         emit(self.sink, EVAL_DONE, end_time, self.agent_id,
-             reward=result.reward, failed=False)
+             reward=result.reward, failed=False, arch=arch.to_dict(),
+             duration=result.duration, params=result.params,
+             timed_out=result.timed_out, nonfinite=result.nonfinite)
 
     def _fail(self, arch: Architecture, duration: float, params: int,
               submit_time: float, start_time: float,
@@ -150,7 +196,69 @@ class EvalBroker(Evaluator):
         self._finished.append(EvalRecord(
             arch, result, self.agent_id, submit_time, start_time, end_time))
         emit(self.sink, EVAL_DONE, end_time, self.agent_id,
-             reward=result.reward, failed=True)
+             reward=result.reward, failed=True, arch=arch.to_dict(),
+             duration=result.duration, params=result.params,
+             timed_out=result.timed_out, nonfinite=result.nonfinite)
+
+    # -- journal replay ------------------------------------------------
+    def load_replay(self, entries: list[ReplayEval]) -> None:
+        """Arm the broker with journaled completions to re-serve.
+
+        Entries queue FIFO per architecture key, preserving per-key
+        completion order — a batch containing the same architecture
+        twice (both executed for real in the original run, because the
+        second submission raced the first's completion) replays both
+        entries in order.
+        """
+        for entry in entries:
+            self._replay.setdefault(tuple(entry.key),
+                                    deque()).append(entry)
+
+    def replay_pending(self) -> int:
+        """Loaded replay entries not yet consumed (0 after a clean
+        resume: determinism re-submits every journaled architecture)."""
+        return sum(len(q) for q in self._replay.values())
+
+    def _replay_hit(self, arch: Architecture, submit_time: float) -> bool:
+        """Journal-replay short-circuit, checked *before* the cache.
+
+        Order matters: the original run consulted its cache first and
+        executed on a miss, so every replay entry corresponds to a
+        miss.  Re-checking the cache first would diverge on batches
+        containing the same architecture twice — the first replay seeds
+        the cache and the second occurrence would flip from a real
+        (replayed) record to a cache hit.  The cache's miss tally is
+        bumped manually to preserve the restore-counters invariant
+        (every submission performs exactly one logical lookup).
+        """
+        if not self._replay:
+            return False
+        queue = self._replay.get(exact_key(arch))
+        if not queue:
+            return False
+        entry = queue.popleft()
+        self.num_replayed += 1
+        if self.cache is not None:
+            self.cache.misses += 1
+        if entry.failed:
+            self.num_failed += 1
+            result = EvalResult(RewardModel.FAILURE_REWARD, entry.duration,
+                                entry.params, entry.timed_out,
+                                entry.nonfinite)
+        else:
+            result = EvalResult(entry.reward, entry.duration, entry.params,
+                                entry.timed_out, entry.nonfinite)
+            if self.cache is not None:
+                self.cache.put(arch, result)
+        self._finished.append(EvalRecord(
+            arch, result, self.agent_id, submit_time, submit_time,
+            entry.end_time))
+        emit(self.sink, EVAL_DONE, entry.end_time, self.agent_id,
+             reward=result.reward, failed=entry.failed, arch=arch.to_dict(),
+             duration=result.duration, params=result.params,
+             timed_out=result.timed_out, nonfinite=result.nonfinite,
+             replayed=True)
+        return True
 
     # -- polling -------------------------------------------------------
     def _poll(self) -> None:

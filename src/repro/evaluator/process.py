@@ -290,6 +290,12 @@ class ProcessEvaluator(EvalBroker):
         for arch in archs:
             submit = self.clock()
             self.num_submitted += 1
+            # replay outranks quarantine: a journaled completion — even
+            # a journaled failure of a quarantined poison arch — is
+            # re-served as recorded, never re-dispatched to the pool
+            if self._replay_hit(arch, submit):
+                all_cached = False
+                continue
             if self._cache_hit(arch, submit):
                 continue
             all_cached = False

@@ -39,6 +39,9 @@ class SerialEvaluator(EvalBroker):
         for arch in archs:
             submit = self.clock()
             self.num_submitted += 1
+            if self._replay_hit(arch, submit):
+                all_cached = False
+                continue
             if self._cache_hit(arch, submit):
                 continue
             all_cached = False

@@ -16,8 +16,11 @@ constructed — :func:`emit` is a no-op on ``sink=None``.
 from __future__ import annotations
 
 import json
+import logging
 import os
 from dataclasses import dataclass, field
+
+from .util.atomicio import FsyncPolicy
 
 __all__ = [
     "SUBMIT", "BATCH_STATS", "EVAL_DONE", "CACHE_HIT", "PUSH", "BARRIER",
@@ -25,8 +28,11 @@ __all__ = [
     "WORKER_SPAWN", "WORKER_CRASH", "WORKER_RESPAWN", "WORKER_TIMEOUT",
     "QUARANTINE", "PREEMPT",
     "EVENT_KINDS", "SearchEvent", "EventSink", "NullSink", "RecordingSink",
-    "CallbackSink", "TeeSink", "JsonlSink", "emit", "read_events",
+    "CallbackSink", "TeeSink", "JsonlSink", "EventLog", "emit",
+    "read_events",
 ]
+
+_log = logging.getLogger("repro.events")
 
 #: a batch of architectures entered the evaluation broker
 SUBMIT = "submit"
@@ -160,15 +166,24 @@ class JsonlSink(EventSink):
     """Streams events to a JSONL file, one flushed line per event.
 
     Unlike buffering events in memory and dumping them at the end of the
-    run, every record hits the OS the moment it is emitted (``flush`` +
-    best-effort ``fsync``), so a crash — or a SIGKILLed run — loses at
-    most the event being written.  :func:`read_events` tolerates the
-    torn trailing line such a crash can leave behind.
+    run, every record hits the OS the moment it is emitted (``flush``),
+    so a *process* crash — or a SIGKILLed run — loses at most the event
+    being written.  Durability against a *host* crash is the fsync
+    policy's job: ``fsync=True`` forces every record to stable storage
+    (the old boolean knob), ``fsync_every=N`` does so after every Nth
+    record — the same :class:`~repro.util.atomicio.FsyncPolicy` the
+    search journal uses.  :func:`read_events` tolerates the torn
+    trailing line a crash can leave behind, and skips (with a counter)
+    interior corruption.
     """
 
-    def __init__(self, path, fsync: bool = False) -> None:
+    def __init__(self, path, fsync: bool = False,
+                 fsync_every: int | None = None) -> None:
         self.path = os.fspath(path)
-        self.fsync = fsync
+        if fsync and fsync_every is None:
+            fsync_every = 1
+        self.fsync = fsync_every == 1
+        self._policy = FsyncPolicy(fsync_every)
         self._fh = open(self.path, "w", encoding="utf-8")
         self.num_written = 0
 
@@ -177,11 +192,7 @@ class JsonlSink(EventSink):
             return
         self._fh.write(json.dumps(event.to_dict()) + "\n")
         self._fh.flush()
-        if self.fsync:
-            try:
-                os.fsync(self._fh.fileno())
-            except OSError:
-                pass
+        self._policy.tick(self._fh.fileno())
         self.num_written += 1
 
     def close(self) -> None:
@@ -196,14 +207,29 @@ class JsonlSink(EventSink):
         self.close()
 
 
-def read_events(path) -> list[SearchEvent]:
+class EventLog(list):
+    """A list of :class:`SearchEvent` records that also reports how many
+    unreadable lines the reader had to skip (``num_skipped``) — list
+    subclass so every existing ``read_events`` caller keeps working."""
+
+    def __init__(self, events=(), num_skipped: int = 0) -> None:
+        super().__init__(events)
+        self.num_skipped = num_skipped
+
+
+def read_events(path) -> EventLog:
     """Read a JSONL event stream back into :class:`SearchEvent` records.
 
-    A torn trailing line — the partial record a crash mid-``write``
-    leaves behind — is silently dropped; a malformed line anywhere
-    *else* in the file is a real corruption and raises ``ValueError``.
+    Recovery is total: a torn trailing line — the partial record a crash
+    mid-``write`` leaves behind — is silently dropped, and a malformed
+    line anywhere *else* (bit rot, a concurrent writer's torn append) is
+    skipped with a logged warning rather than sinking the whole stream.
+    The returned :class:`EventLog` carries the interior-skip count in
+    ``num_skipped`` (the torn tail is not counted: it is the expected
+    residue of a crash, not corruption).
     """
     events: list[SearchEvent] = []
+    skipped = 0
     with open(os.fspath(path), encoding="utf-8") as fh:
         lines = fh.read().split("\n")
     if lines and lines[-1] == "":
@@ -213,15 +239,18 @@ def read_events(path) -> list[SearchEvent]:
             continue
         try:
             rec = json.loads(line)
-        except json.JSONDecodeError:
+            event = SearchEvent(rec["kind"], rec["time"],
+                                rec.get("agent_id"), rec.get("iteration"),
+                                rec.get("payload") or {})
+        except (json.JSONDecodeError, KeyError, TypeError):
             if i == len(lines) - 1:
                 break   # torn trailing line from a crash mid-write
-            raise ValueError(
-                f"{path}: malformed event record at line {i + 1}") from None
-        events.append(SearchEvent(rec["kind"], rec["time"],
-                                  rec.get("agent_id"), rec.get("iteration"),
-                                  rec.get("payload") or {}))
-    return events
+            skipped += 1
+            _log.warning("%s: skipping malformed event record at line %d",
+                         path, i + 1)
+            continue
+        events.append(event)
+    return EventLog(events, num_skipped=skipped)
 
 
 def emit(sink: EventSink | None, kind: str, time: float,

@@ -8,7 +8,8 @@ from .evolution import EvolutionConfig, EvolutionSearch, run_evolution
 from .exchange import (EXCHANGE_STRATEGIES, A2CExchange, A3CExchange,
                        ExchangeStrategy, RandomExchange, build_exchange)
 from .hooks import (BoundaryHook, HealthHook, HookStack, LifecycleHooks,
-                    NumericFaultHook)
+                    NumericFaultHook, RecordCheckpointHook)
+from .journal import SearchJournal, resume_durable
 from .loop import AgentLoop
 from .runner import NasSearch, resume_search, run_search
 
@@ -17,8 +18,9 @@ __all__ = ['A2CExchange', 'A3CExchange', 'AgentCheckpoint', 'AgentLoop',
            'EvolutionSearch', 'ExchangeStrategy', 'FaultConfig',
            'HealthHook', 'HookStack', 'LifecycleHooks', 'NasSearch',
            'NodeAllocation', 'NumericFaultHook', 'RandomExchange',
-           'RewardRecord', 'SearchCheckpoint', 'SearchConfig',
-           'SearchResult', 'build_exchange', 'resume_search',
+           'RecordCheckpointHook', 'RewardRecord', 'SearchCheckpoint',
+           'SearchConfig', 'SearchJournal', 'SearchResult',
+           'build_exchange', 'resume_durable', 'resume_search',
            'run_evolution', 'run_search']
 
 

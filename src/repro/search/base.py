@@ -110,6 +110,17 @@ class SearchConfig:
     #: on signal the search stops at the next event boundary, captures a
     #: resumable checkpoint, and returns with ``SearchResult.preempted``
     preemptible: bool = False
+    #: write-ahead search journal + checkpoint generations live under
+    #: this directory (:mod:`repro.search.journal`); None = durability
+    #: layer fully off
+    journal_dir: str | None = None
+    #: fsync the journal after every Nth record (None = never fsync —
+    #: flush-only, survives process crashes but not host crashes)
+    journal_fsync_every: int | None = None
+    #: additionally capture a checkpoint every time this many new reward
+    #: records have accumulated since the last capture (None = off);
+    #: fires at iteration boundaries, so resumed runs stay bit-identical
+    checkpoint_every_records: int | None = None
 
     def __post_init__(self) -> None:
         if self.max_restarts < 0:
@@ -140,6 +151,14 @@ class SearchConfig:
             raise ValueError("checkpoint_interval must be positive")
         if self.max_eval_retries < 0:
             raise ValueError("max_eval_retries must be non-negative")
+        if self.journal_fsync_every is not None \
+                and self.journal_fsync_every <= 0:
+            raise ValueError("journal_fsync_every must be positive")
+        if self.journal_fsync_every is not None and self.journal_dir is None:
+            raise ValueError("journal_fsync_every requires journal_dir")
+        if self.checkpoint_every_records is not None \
+                and self.checkpoint_every_records <= 0:
+            raise ValueError("checkpoint_every_records must be positive")
 
 
 @dataclass(frozen=True)

@@ -34,12 +34,18 @@ from __future__ import annotations
 
 import argparse
 import os
+import shutil
 import signal
+import subprocess
+import sys
+import tempfile
 import threading
 import time
 import zlib
 from dataclasses import dataclass, field
+from pathlib import Path
 
+from ..events import EVAL_DONE
 from ..health import GuardConfig
 from ..hpc import NodeAllocation, TrainingCostModel
 from ..hpc.faults import FaultConfig
@@ -49,11 +55,14 @@ from ..problems.combo import COMBO_PAPER_SHAPES, combo_head
 from ..rewards import SurrogateReward
 from ..rewards.base import EvalResult, RewardModel
 from .base import SearchConfig
+from .journal import JOURNAL_NAME, read_journal, resume_durable
 from .runner import NasSearch
 
-__all__ = ["ChaosEvalModel", "fault_levels", "fault_matrix", "check_rows",
-           "numeric_matrix", "check_numeric_rows", "proc_matrix",
-           "check_proc_rows", "main"]
+__all__ = ["ChaosEvalModel", "CountingRewardModel", "fault_levels",
+           "fault_matrix", "check_rows", "numeric_matrix",
+           "check_numeric_rows", "proc_matrix", "check_proc_rows",
+           "crashpoint_child", "crashpoint_matrix",
+           "check_crashpoint_rows", "main"]
 
 #: default chaos allocation: small enough to run in seconds, large
 #: enough that node failures hit busy pilots
@@ -109,6 +118,29 @@ class ChaosEvalModel(RewardModel):
             time.sleep(self.hang_seconds)
         if self.eval_seconds > 0:
             time.sleep(self.eval_seconds)
+        return self.inner.evaluate(arch, agent_seed=agent_seed)
+
+    def set_plan_cache(self, cache) -> None:
+        self.plan_cache = cache
+        self.inner.set_plan_cache(cache)
+
+    def prefetch_plan(self, arch: Architecture) -> None:
+        self.inner.prefetch_plan(arch)
+
+
+@dataclass
+class CountingRewardModel(RewardModel):
+    """Counts real ``evaluate`` calls (module-level so ``spawn``-context
+    workers can unpickle it).  The crash-point fuzzer wraps the resumed
+    run's reward model with it: any journal-covered evaluation that
+    sneaks past the replay layer and re-executes bumps the count."""
+
+    inner: RewardModel
+    calls: int = 0
+    plan_cache: object = field(default=None, repr=False)
+
+    def evaluate(self, arch: Architecture, agent_seed: int = 0) -> EvalResult:
+        self.calls += 1
         return self.inner.evaluate(arch, agent_seed=agent_seed)
 
     def set_plan_cache(self, cache) -> None:
@@ -395,6 +427,216 @@ def check_proc_rows(rows: list[dict]) -> list[str]:
     return problems
 
 
+# ----------------------------------------------------------------------
+# crash-point fuzzing (write-ahead journal durability)
+# ----------------------------------------------------------------------
+def crashpoint_child(journal_dir, method: str = "a3c",
+                     backend: str = "serial", seed: int = 3,
+                     iterations: int = 4, throttle: float = 0.0,
+                     count: bool = False):
+    """One durable search over ``journal_dir`` — first launch and every
+    relaunch alike (it goes through
+    :func:`~repro.search.journal.resume_durable`).
+
+    This is both the subprocess entry the fuzzer SIGKILLs (``throttle``
+    stalls each evaluation so the parent can aim between journal
+    records; the stall never touches rewards or modeled durations, so
+    fingerprints are unaffected) and the in-parent resume path
+    (``count=True`` wraps the reward model in
+    :class:`CountingRewardModel`).  Returns ``(result, search,
+    counter)``.
+    """
+    space = combo_small()
+    model: RewardModel = SurrogateReward(
+        space, COMBO_PAPER_SHAPES, combo_head(),
+        TrainingCostModel.combo_paper(),
+        epochs=1, train_fraction=0.1, timeout=600.0,
+        log_params_opt=6.5, seed=7)
+    if throttle > 0:
+        model = ChaosEvalModel(model, eval_seconds=throttle, seed=seed)
+    counter = None
+    if count:
+        model = counter = CountingRewardModel(model)
+    proc = None
+    if backend == "process":
+        from ..evaluator.process import ProcConfig
+        proc = ProcConfig(workers=2)
+    cfg = SearchConfig(
+        method=method, allocation=NodeAllocation(10, 2, 3),
+        wall_time=3600.0, seed=seed, backend=backend,
+        max_iterations=iterations, proc=proc,
+        journal_dir=os.fspath(journal_dir), checkpoint_every_records=6)
+    search = resume_durable(space, model, cfg)
+    result = search.run()
+    return result, search, counter
+
+
+def _journal_real_evals(journal_dir) -> int:
+    """Real executions recorded in the journal: ``eval-done`` records
+    that are neither cache hits (those emit ``cache-hit``) nor replay
+    re-emissions (``replayed=True``)."""
+    path = Path(journal_dir) / JOURNAL_NAME
+    if not path.exists():
+        return 0
+    return sum(1 for e in read_journal(path)
+               if e.kind == EVAL_DONE and "arch" in e.payload
+               and not e.payload.get("replayed"))
+
+
+def _spawn_and_kill_at(journal_dir, k: int, method: str, backend: str,
+                       seed: int, iterations: int, throttle: float,
+                       timeout: float = 180.0) -> bool:
+    """Launch a durable search subprocess and SIGKILL its whole process
+    group once the journal holds >= ``k`` records.
+
+    ``start_new_session`` + ``killpg`` take down the search head *and*
+    any spawn-context pool workers in one shot — the moral equivalent of
+    losing the node, and the only way a process-backend child dies
+    without leaving orphans blocked on their task queue.  Returns True
+    when the kill landed, False when the child finished first (a valid
+    fuzz outcome near the end of the journal: the resume is asserted
+    either way).
+    """
+    src_root = str(Path(__file__).resolve().parents[2])
+    env = dict(os.environ)
+    env["PYTHONPATH"] = src_root + os.pathsep + env.get("PYTHONPATH", "")
+    code = ("from repro.search.chaos import crashpoint_child; "
+            f"crashpoint_child({os.fspath(journal_dir)!r}, {method!r}, "
+            f"{backend!r}, {seed}, {iterations}, {throttle})")
+    child = subprocess.Popen([sys.executable, "-c", code], env=env,
+                             stdout=subprocess.DEVNULL,
+                             stderr=subprocess.DEVNULL,
+                             start_new_session=True)
+    journal_path = Path(journal_dir) / JOURNAL_NAME
+    deadline = time.monotonic() + timeout
+    killed = False
+    try:
+        while time.monotonic() < deadline:
+            if child.poll() is not None:
+                return False        # finished before record k
+            try:
+                records = journal_path.read_bytes().count(b"\n")
+            except OSError:
+                records = 0
+            if records >= k:
+                killed = True
+                break
+            time.sleep(0.01)
+        try:
+            os.killpg(child.pid, signal.SIGKILL)
+        except OSError:
+            pass                    # group already gone
+        return killed
+    finally:
+        child.wait()
+
+
+def crashpoint_matrix(seed: int = 3, iterations: int = 4, points: int = 3,
+                      methods: tuple[str, ...] = ("a3c", "a2c", "rdm"),
+                      backends: tuple[str, ...] = ("serial", "thread",
+                                                   "process"),
+                      throttle: float = 0.05) -> list[dict]:
+    """SIGKILL-anywhere fuzzing of the write-ahead journal: one row per
+    (method, backend) cell.
+
+    Per cell: run the search uninterrupted once (the baseline journal
+    gives the total record count, the real-execution count, and the
+    reference fingerprint), pick ``points`` stratified kill indices over
+    the record range, and for each index run a fresh subprocess, SIGKILL
+    its process group at that journal record, resume in-process, and
+    check the two durability promises — the resumed fingerprint is
+    bit-identical to the uninterrupted run's, and the total number of
+    real reward-model executions across crashed run + resume equals the
+    uninterrupted run's (zero re-evaluation).
+    """
+    rows = []
+    for method in methods:
+        for backend in backends:
+            base_dir = tempfile.mkdtemp(prefix="crashpoint-base-")
+            try:
+                base_result, _search, base_counter = crashpoint_child(
+                    base_dir, method, backend, seed, iterations, count=True)
+                base_fp = base_result.fingerprint()
+                base_real = _journal_real_evals(base_dir)
+                journal_path = Path(base_dir) / JOURNAL_NAME
+                total = journal_path.read_bytes().count(b"\n")
+            finally:
+                shutil.rmtree(base_dir, ignore_errors=True)
+            kill_points = sorted({max(1, total * i // (points + 1))
+                                  for i in range(1, points + 1)})
+            row = {"level": f"crashpoint/{method}/{backend}",
+                   "journal_records": total, "baseline_evals": base_real,
+                   "kill_points": kill_points, "kills_landed": 0,
+                   "replay_loaded": 0, "fingerprint_mismatches": 0,
+                   "reevaluations": 0, "replay_leftover": 0,
+                   "direct_reexec": 0}
+            for k in kill_points:
+                crash_dir = tempfile.mkdtemp(prefix="crashpoint-")
+                try:
+                    landed = _spawn_and_kill_at(
+                        crash_dir, k, method, backend, seed, iterations,
+                        throttle)
+                    row["kills_landed"] += int(landed)
+                    real_at_kill = _journal_real_evals(crash_dir)
+                    result, search, counter = crashpoint_child(
+                        crash_dir, method, backend, seed, iterations,
+                        count=True)
+                    row["replay_loaded"] += search.num_replay_loaded
+                    if result.fingerprint() != base_fp:
+                        row["fingerprint_mismatches"] += 1
+                    # zero re-evaluation, from the journal itself: real
+                    # executions across dead run + resume must equal the
+                    # uninterrupted run's (works for every backend — the
+                    # broker journals eval-done in the search head)
+                    row["reevaluations"] += max(
+                        0, _journal_real_evals(crash_dir) - base_real)
+                    # every armed replay entry must have been consumed
+                    row["replay_leftover"] += sum(
+                        ev.replay_pending() for ev in search.evaluators)
+                    if counter is not None and backend != "process":
+                        # in-process backends: the resumed run's direct
+                        # call count must be exactly the journal deficit
+                        row["direct_reexec"] += max(
+                            0, counter.calls - (base_real - real_at_kill))
+                finally:
+                    shutil.rmtree(crash_dir, ignore_errors=True)
+            rows.append(row)
+    return rows
+
+
+def check_crashpoint_rows(rows: list[dict]) -> list[str]:
+    """Durability invariants over the crash-point profile; returns the
+    list of violations (empty = pass)."""
+    problems = []
+    for row in rows:
+        level = row["level"]
+        if row["fingerprint_mismatches"]:
+            problems.append(
+                f"{level}: {row['fingerprint_mismatches']} resumed run(s) "
+                f"diverged from the uninterrupted fingerprint")
+        if row["reevaluations"]:
+            problems.append(
+                f"{level}: {row['reevaluations']} journaled evaluation(s) "
+                f"were re-executed after resume")
+        if row["direct_reexec"]:
+            problems.append(
+                f"{level}: reward model re-invoked "
+                f"{row['direct_reexec']} time(s) beyond the journal "
+                f"deficit")
+        if row["replay_leftover"]:
+            problems.append(
+                f"{level}: {row['replay_leftover']} armed replay "
+                f"entr(y/ies) never consumed")
+        if row["kills_landed"] == 0:
+            problems.append(
+                f"{level}: no SIGKILL landed — every child finished "
+                f"first, the profile tested nothing")
+    if rows and not any(row["replay_loaded"] for row in rows):
+        problems.append("crashpoint: no run ever loaded a replay entry — "
+                        "every kill landed on a checkpoint boundary")
+    return problems
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-chaos",
@@ -408,13 +650,25 @@ def main(argv: list[str] | None = None) -> int:
                         help="allowed best-reward degradation vs "
                              "fault-free, as a fraction (default 0.05)")
     parser.add_argument("--profile", default="faults",
-                        choices=("faults", "numeric", "proc", "all"),
+                        choices=("faults", "numeric", "proc",
+                                 "crashpoint", "all"),
                         help="faults = infrastructure fault matrix; "
                              "numeric = numerical health-layer chaos; "
                              "proc = real-process supervision chaos "
                              "(SIGKILLed workers, crashing/hanging "
-                             "evals); all = every profile "
-                             "(default faults)")
+                             "evals); crashpoint = SIGKILL the whole "
+                             "search at stratified journal records and "
+                             "prove bit-identical zero-re-eval resume; "
+                             "all = every profile (default faults)")
+    parser.add_argument("--points", type=int, default=3,
+                        help="kill points per crashpoint cell (default 3)")
+    parser.add_argument("--methods", default="a3c,a2c,rdm",
+                        help="comma-separated methods for the crashpoint "
+                             "profile (default a3c,a2c,rdm)")
+    parser.add_argument("--backends", default="serial,thread,process",
+                        help="comma-separated backends for the "
+                             "crashpoint profile "
+                             "(default serial,thread,process)")
     args = parser.parse_args(argv)
 
     problems: list[str] = []
@@ -456,6 +710,21 @@ def main(argv: list[str] | None = None) -> int:
                   f"{row['respawns']:6d} {row['quarantined']:5d} "
                   f"{row['inline_evals']:6d}")
         problems += check_proc_rows(rows)
+
+    if args.profile in ("crashpoint", "all"):
+        rows = crashpoint_matrix(
+            seed=args.seed + 2, points=args.points,
+            methods=tuple(args.methods.split(",")),
+            backends=tuple(args.backends.split(",")))
+        print(f"{'level':24s} {'recs':>5s} {'evals':>6s} {'kills':>6s} "
+              f"{'replay':>6s} {'fpmis':>6s} {'reeval':>6s} {'left':>5s}")
+        for row in rows:
+            print(f"{row['level']:24s} {row['journal_records']:5d} "
+                  f"{row['baseline_evals']:6d} {row['kills_landed']:6d} "
+                  f"{row['replay_loaded']:6d} "
+                  f"{row['fingerprint_mismatches']:6d} "
+                  f"{row['reevaluations']:6d} {row['replay_leftover']:5d}")
+        problems += check_crashpoint_rows(rows)
 
     for problem in problems:
         print(f"chaos: FAIL — {problem}")

@@ -35,7 +35,6 @@ from __future__ import annotations
 
 import copy
 import json
-import os
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -43,6 +42,7 @@ import numpy as np
 
 from ..nas.arch import Architecture
 from ..rewards.base import EvalResult
+from ..util.atomicio import atomic_write_json
 from .base import RewardRecord
 
 __all__ = ["AgentBoundary", "AgentCheckpoint", "SearchCheckpoint"]
@@ -176,31 +176,11 @@ class SearchCheckpoint:
         )
 
     def save(self, path: str | Path) -> Path:
-        """Crash-consistently write the checkpoint as JSON.
-
-        Write-to-tmp + atomic ``replace`` alone is not enough: a host
-        crash can tear the *tmp* write (replace then publishes garbage)
-        or lose the rename itself (the data never became durable).  So
-        the tmp file is fsynced before the rename and the containing
-        directory after it — after ``save`` returns, either the old or
-        the new checkpoint survives a crash, never a torn hybrid.
-        """
-        path = Path(path)
-        tmp = path.with_suffix(path.suffix + ".tmp")
-        with open(tmp, "w", encoding="utf-8") as fh:
-            fh.write(json.dumps(self.to_json()))
-            fh.flush()
-            os.fsync(fh.fileno())
-        tmp.replace(path)
-        try:
-            dir_fd = os.open(path.parent or Path("."), os.O_RDONLY)
-            try:
-                os.fsync(dir_fd)
-            finally:
-                os.close(dir_fd)
-        except OSError:
-            pass    # platforms without directory fsync: best effort
-        return path
+        """Crash-consistently write the checkpoint as JSON (see
+        :func:`repro.util.atomicio.atomic_write_json`: tmp + fsync +
+        rename + directory fsync, so a crash leaves either the old or
+        the new checkpoint, never a torn hybrid)."""
+        return atomic_write_json(Path(path), self.to_json())
 
     @classmethod
     def load(cls, path: str | Path) -> "SearchCheckpoint":

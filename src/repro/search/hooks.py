@@ -31,7 +31,7 @@ from ..hpc.faults import FaultInjector
 from .checkpoint import AgentBoundary
 
 __all__ = ["LifecycleHooks", "HookStack", "BoundaryHook",
-           "NumericFaultHook", "HealthHook"]
+           "RecordCheckpointHook", "NumericFaultHook", "HealthHook"]
 
 
 class LifecycleHooks:
@@ -120,6 +120,27 @@ class BoundaryHook(LifecycleHooks):
             traj_digest=loop.digest,
             lr=(updater.optimizer.lr
                 if updater is not None and self.capture_lr else None))
+
+
+class RecordCheckpointHook(LifecycleHooks):
+    """Gives the runner a record-count checkpoint opportunity at every
+    iteration start (``SearchConfig.checkpoint_every_records``).
+
+    Real (host-time) backends never advance the virtual clock, so the
+    interval checkpoint timer never fires for them; counting reward
+    records is the clock that works on every backend.  The callback only
+    *triggers* — the runner defers the actual capture to a zero-delay
+    sim process so it observes the same globally consistent
+    parked-at-yield-points state the interval clock does (see
+    ``NasSearch._maybe_record_checkpoint`` for why capturing inline
+    here would tear a sync exchange round in half).
+    """
+
+    def __init__(self, callback) -> None:
+        self.callback = callback
+
+    def on_iteration_start(self, loop) -> None:
+        self.callback()
 
 
 class NumericFaultHook(LifecycleHooks):

@@ -47,7 +47,7 @@ from ..evaluator.process import ProcessEvaluator
 from ..evaluator.serial import SerialEvaluator
 from ..evaluator.thread import ThreadEvaluator
 from ..events import (AGENT_DONE, CHECKPOINT, CRASH, PREEMPT, RESTART,
-                      EventSink, emit)
+                      EventSink, TeeSink, emit)
 from ..hpc.cluster import Cluster
 from ..hpc.faults import FaultInjector
 from ..hpc.sim import Interrupt, Simulator, Timeout
@@ -59,7 +59,9 @@ from ..rl.ppo import PPOConfig, PPOUpdater
 from .base import RewardRecord, SearchConfig, SearchResult
 from .checkpoint import AgentBoundary, AgentCheckpoint, SearchCheckpoint
 from .exchange import build_exchange
-from .hooks import BoundaryHook, HealthHook, HookStack, NumericFaultHook
+from .hooks import (BoundaryHook, HealthHook, HookStack, NumericFaultHook,
+                    RecordCheckpointHook)
+from .journal import SearchJournal
 from .loop import AgentLoop
 
 __all__ = ["NasSearch", "run_search", "resume_search"]
@@ -78,11 +80,13 @@ class NasSearch:
     def __init__(self, space: Structure, reward_model: RewardModel,
                  config: SearchConfig | None = None,
                  resume_from: SearchCheckpoint | None = None,
-                 event_sink: EventSink | None = None) -> None:
+                 event_sink: EventSink | None = None,
+                 journal: SearchJournal | None = None,
+                 replay: dict | None = None) -> None:
         self.space = space
         self.reward_model = reward_model
         self.config = cfg = config or SearchConfig()
-        self.sink = event_sink
+        self._attach_journal(journal, event_sink)
 
         self.sim = Simulator()
         self.cluster = Cluster(self.sim, cfg.allocation.worker_nodes)
@@ -116,6 +120,13 @@ class NasSearch:
         self._preempt_cause: str | None = None
         #: checkpoints captured during run() (newest last)
         self.checkpoints: list[SearchCheckpoint] = []
+        #: records present at the last capture (drives the
+        #: ``checkpoint_every_records`` trigger)
+        self._records_at_ckpt = 0
+        #: a deferred record-count capture is already scheduled
+        self._record_ckpt_pending = False
+        #: journal-replay entries armed across all brokers at resume
+        self.num_replay_loaded = 0
         #: health-layer bookkeeping: per-agent resurrections and
         #: policy rollbacks (repro.health; stays empty with guards off)
         self._restarts: dict[int, int] = {}
@@ -124,12 +135,38 @@ class NasSearch:
         self._build_agents()
         if resume_from is not None:
             self._apply_checkpoint(resume_from)
+        self._load_replay(replay)
         self._live_agents = cfg.allocation.num_agents - len(self._done_agents)
 
     @property
     def ps(self):
         """The exchange's parameter server (None for RDM)."""
         return self.exchange.ps
+
+    def _attach_journal(self, journal: SearchJournal | None,
+                        event_sink: EventSink | None) -> None:
+        """Durability root (repro.search.journal): every event is teed
+        into the write-ahead journal, and checkpoints are written as
+        verified generations next to it.  Constructed from
+        ``cfg.journal_dir`` unless an instance is handed in (which is
+        what ``resume_durable`` does, after reading it back)."""
+        self.journal = journal
+        if self.journal is None and self.config.journal_dir is not None:
+            self.journal = SearchJournal(
+                self.config.journal_dir,
+                fsync_every=self.config.journal_fsync_every)
+        self.sink = (TeeSink(self.journal.sink, event_sink)
+                     if self.journal is not None else event_sink)
+
+    def _load_replay(self, replay: dict | None) -> None:
+        """Arm each broker with the dead run's journaled completions;
+        the resumed trajectory deterministically re-submits exactly
+        these architectures and they answer without re-executing."""
+        if not replay:
+            return
+        for agent_id, entries in replay.items():
+            self.evaluators[agent_id].load_replay(entries)
+        self.num_replay_loaded = sum(len(v) for v in replay.values())
 
     def _build_evaluator(self, agent_id: int):
         """One agent's evaluator on the configured backend.
@@ -208,6 +245,13 @@ class NasSearch:
         return previous
 
     def run(self) -> SearchResult:
+        try:
+            return self._run()
+        finally:
+            if self.journal is not None:
+                self.journal.close()
+
+    def _run(self) -> SearchResult:
         cfg = self.config
         if self.injector is not None:
             self.injector.attach(self.cluster)
@@ -268,11 +312,15 @@ class NasSearch:
         guard = cfg.guard
         guarded = updater is not None and guard is not None and guard.enabled
         capture = (cfg.checkpoint_interval is not None
-                   or cfg.max_restarts > 0 or cfg.preemptible)
+                   or cfg.checkpoint_every_records is not None
+                   or cfg.max_restarts > 0 or cfg.preemptible
+                   or self.journal is not None)
         hooks = HookStack([
             BoundaryHook(self._boundaries,
                          capture_lr=guard is not None and guard.recovers)
             if capture else None,
+            RecordCheckpointHook(self._maybe_record_checkpoint)
+            if cfg.checkpoint_every_records is not None else None,
             NumericFaultHook(self.injector,
                              self._restarts.get(agent_id, 0))
             if self.injector is not None and updater is not None else None,
@@ -368,8 +416,12 @@ class NasSearch:
         self.records = kept
         self._restore_agent_state(agent_id, boundary)
         self.exchange.rejoin(agent_id)
+        # real_evals tells a journal replay (repro.search.journal) how
+        # far to truncate this agent's accumulated eval-done stream —
+        # the journal-side mirror of the record trimming above
         emit(self.sink, RESTART, self.sim.now, agent_id,
-             boundary.iteration, cause=cause)
+             boundary.iteration, cause=cause,
+             real_evals=boundary.num_submitted - boundary.num_cache_hits)
 
     def _restore_agent_state(self, agent_id: int,
                              boundary: AgentBoundary) -> None:
@@ -390,6 +442,42 @@ class NasSearch:
         self._resume[agent_id] = boundary
 
     # -- checkpointing --------------------------------------------------
+    def _maybe_record_checkpoint(self) -> None:
+        """Record-count trigger (fires from :class:`RecordCheckpointHook`
+        at an iteration start).
+
+        The capture itself is *deferred* to a fresh zero-delay sim
+        process rather than taken inline: the triggering agent's hook
+        can run inside the zero-duration window after a sync barrier
+        released but before the other woken agents executed their own
+        iteration starts — their boundaries would still point at the
+        round the exported exchange state has already applied, and the
+        resume would push that round twice.  A process scheduled *now*
+        gets a later sequence number than every already-queued wakeup,
+        so by the time it runs each agent is parked at a yield point
+        with a fresh boundary — exactly the state the interval
+        checkpoint clock observes.
+        """
+        every = self.config.checkpoint_every_records
+        if every is None or self._record_ckpt_pending:
+            return
+        if len(self.records) - self._records_at_ckpt < every:
+            return
+        self._record_ckpt_pending = True
+        self.sim.process(self._record_checkpoint_proc(), name="record-ckpt")
+
+    def _record_checkpoint_proc(self):
+        try:
+            # re-check: a capture scheduled just before another trigger
+            # (or the interval clock) may have already covered the gap
+            every = self.config.checkpoint_every_records
+            if len(self.records) - self._records_at_ckpt >= every:
+                self._capture_checkpoint()
+        finally:
+            self._record_ckpt_pending = False
+        return
+        yield   # pragma: no cover — generator so sim.process can run it
+
     def _checkpoint_clock(self):
         interval = self.config.checkpoint_interval
         try:
@@ -449,8 +537,11 @@ class NasSearch:
             agent_rollbacks=dict(self._rollbacks),
             quarantine=quarantine)
         self.checkpoints.append(ckpt)
+        self._records_at_ckpt = len(self.records)
         if cfg.checkpoint_path is not None:
             ckpt.save(cfg.checkpoint_path)
+        if self.journal is not None:
+            self.journal.save_checkpoint(ckpt)
         emit(self.sink, CHECKPOINT, self.sim.now,
              num_records=len(ckpt.records))
         return ckpt
@@ -509,6 +600,7 @@ class NasSearch:
                 continue            # starts fresh, deterministically
             self._restore_agent_state(agent.agent_id, agent.boundary)
         self.exchange.restore_state(ckpt.ps_state)
+        self._records_at_ckpt = len(self.records)
 
 
 def run_search(space: Structure, reward_model: RewardModel,

@@ -1,0 +1,7 @@
+"""Small shared utilities with no dependency on the rest of the stack."""
+
+from .atomicio import (FsyncPolicy, atomic_write_json, atomic_write_text,
+                       fsync_dir)
+
+__all__ = ["FsyncPolicy", "atomic_write_json", "atomic_write_text",
+           "fsync_dir"]

@@ -24,12 +24,16 @@ from repro.problems import combo_problem, nt3_problem, uno_problem
 #: markers that define the test tiers (see docs/testing.md); anything
 #: not explicitly tiered is "fast" — the default inner-loop suite
 _TIER_MARKERS = ("slow", "chaos", "verify", "health", "perf", "proc",
-                 "bench")
+                 "bench", "crashfuzz")
 
-#: hard per-test wall-clock cap (seconds) for proc- and bench-marked
-#: tests: a hung or deadlocked worker pool (or a sweep subprocess that
-#: never reaches its kill point) must never wedge tier-1
+#: hard per-test wall-clock cap (seconds) for proc-, bench- and
+#: crashfuzz-marked tests: a hung or deadlocked worker pool (or a sweep
+#: subprocess that never reaches its kill point) must never wedge tier-1
 _PROC_WATCHDOG_SECONDS = 240
+
+#: markers whose tests get the SIGALRM watchdog — all spawn or poll
+#: subprocesses whose hangs pytest alone cannot interrupt
+_WATCHDOG_MARKERS = ("proc", "bench", "crashfuzz")
 
 
 def pytest_collection_modifyitems(config, items):
@@ -50,9 +54,9 @@ def _proc_watchdog(request):
     same cap guards bench-marked tests, whose kill/resume scenarios
     poll sweep subprocesses.
     """
-    if (request.node.get_closest_marker("proc") is None
-            and request.node.get_closest_marker("bench") is None) \
-            or not hasattr(signal, "SIGALRM"):
+    if (all(request.node.get_closest_marker(m) is None
+            for m in _WATCHDOG_MARKERS)
+            or not hasattr(signal, "SIGALRM")):
         yield
         return
 

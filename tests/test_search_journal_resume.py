@@ -1,0 +1,258 @@
+"""End-to-end crash/resume tests for the durable search journal.
+
+The crash here is simulated the way the crash-point fuzzer's SIGKILL
+leaves the disk: the journal is truncated to its first ``k`` records and
+every checkpoint generation captured after them is deleted.  Resume must
+then reproduce the uninterrupted run bit-for-bit (determinism
+fingerprint) without re-executing any journaled evaluation.  The
+``crashfuzz``-marked test at the bottom runs the real thing — a
+subprocess search SIGKILLed mid-journal via
+:func:`repro.search.chaos.crashpoint_matrix`.
+"""
+
+import json
+import shutil
+from pathlib import Path
+
+import pytest
+
+from repro.events import BATCH_STATS, EVAL_DONE
+from repro.search.chaos import (check_crashpoint_rows, crashpoint_child,
+                                crashpoint_matrix, _journal_real_evals)
+from repro.search.journal import GENERATIONS_DIR, JOURNAL_NAME, read_journal
+
+
+def run_durable(journal_dir, method="a3c", backend="serial"):
+    """One durable search (first launch and relaunch alike) with the
+    fuzzer's config; returns ``(result, search, counter)``."""
+    return crashpoint_child(journal_dir, method=method, backend=backend,
+                            count=True)
+
+
+def journal_lines(journal_dir) -> int:
+    return len((Path(journal_dir) / JOURNAL_NAME).read_text().splitlines())
+
+
+def crash_at(journal_dir, k: int) -> None:
+    """Leave the directory as a SIGKILL at journal record ``k`` would:
+    only the first ``k`` records survive, and with them only the
+    checkpoint generations captured at or before record ``k``."""
+    path = Path(journal_dir) / JOURNAL_NAME
+    lines = path.read_text().splitlines(keepends=True)
+    path.write_text("".join(lines[:k]))
+    gen_dir = Path(journal_dir) / GENERATIONS_DIR
+    if gen_dir.is_dir():
+        for gen in list(gen_dir.iterdir()):
+            data = json.loads(gen.read_text())
+            if data["integrity"]["journal_seq"] > k:
+                gen.unlink()
+
+
+def surviving_checkpoint_seq(journal_dir) -> int:
+    gen_dir = Path(journal_dir) / GENERATIONS_DIR
+    if not gen_dir.is_dir():
+        return 0
+    seqs = [json.loads(p.read_text())["integrity"]["journal_seq"]
+            for p in gen_dir.iterdir()]
+    return max(seqs, default=0)
+
+
+@pytest.fixture(scope="module")
+def baselines(tmp_path_factory):
+    """Uninterrupted durable runs, one per method, shared by the crash
+    scenarios below (each scenario copies the directory and corrupts
+    the copy)."""
+    out = {}
+    for method in ("a3c", "a2c", "rdm"):
+        directory = tmp_path_factory.mktemp(f"base-{method}")
+        result, search, counter = run_durable(directory, method=method)
+        out[method] = {
+            "dir": directory,
+            "fingerprint": result.fingerprint(),
+            "real": _journal_real_evals(directory),
+            "lines": journal_lines(directory),
+            "evals": result.num_evaluations,
+            "counters": broker_counters(search),
+        }
+    return out
+
+
+def broker_counters(search):
+    return {aid: (ev.num_submitted, ev.num_cache_hits, ev.num_failed,
+                  ev.cache.hits if ev.cache is not None else 0,
+                  ev.cache.misses if ev.cache is not None else 0)
+            for aid, ev in enumerate(search.evaluators)}
+
+
+class TestTruncateCrashResume:
+    @pytest.mark.parametrize("method", ("a3c", "a2c", "rdm"))
+    def test_mid_journal_crash_resumes_bit_identical(self, method,
+                                                     baselines, tmp_path):
+        base = baselines[method]
+        work = tmp_path / "run"
+        shutil.copytree(base["dir"], work)
+        k = base["lines"] // 2
+        crash_at(work, k)
+        result, search, counter = run_durable(work, method=method)
+        assert result.fingerprint() == base["fingerprint"]
+        # zero re-evaluation: real executions across crash + resume
+        # equal the uninterrupted run's, and the reward model was only
+        # invoked for the journal deficit
+        assert _journal_real_evals(work) == base["real"]
+        assert counter.calls == base["real"] - real_evals_before(work, k)
+        assert all(ev.replay_pending() == 0 for ev in search.evaluators)
+
+    def test_crash_before_first_checkpoint_replays_from_start(
+            self, baselines, tmp_path):
+        base = baselines["a3c"]
+        work = tmp_path / "run"
+        shutil.copytree(base["dir"], work)
+        # crash one record before the first checkpoint generation: no
+        # checkpoint survives, so resume replays the journal from the
+        # very start
+        gen_dir = base["dir"] / GENERATIONS_DIR
+        first_seq = min(json.loads(p.read_text())["integrity"]["journal_seq"]
+                        for p in gen_dir.iterdir())
+        k = first_seq - 1
+        crash_at(work, k)
+        assert surviving_checkpoint_seq(work) == 0
+        result, search, _counter = run_durable(work)
+        assert search.num_replay_loaded == real_evals_before(work, k) > 0
+        assert result.fingerprint() == base["fingerprint"]
+        assert _journal_real_evals(work) == base["real"]
+
+    def test_two_successive_crashes(self, baselines, tmp_path):
+        """Crash, resume, crash the resumed run, resume again: the
+        ``replayed=True`` re-emissions must not double-feed the second
+        resume, and the total real-execution count stays pinned."""
+        base = baselines["a3c"]
+        work = tmp_path / "run"
+        shutil.copytree(base["dir"], work)
+        crash_at(work, base["lines"] // 3)
+        result, _search, _counter = run_durable(work)
+        assert result.fingerprint() == base["fingerprint"]
+        crash_at(work, int(journal_lines(work) * 0.8))
+        result, search, _counter = run_durable(work)
+        assert result.fingerprint() == base["fingerprint"]
+        assert _journal_real_evals(work) == base["real"]
+        assert all(ev.replay_pending() == 0 for ev in search.evaluators)
+
+    def test_corrupt_newest_generation_falls_back(self, baselines,
+                                                  tmp_path, caplog):
+        """Bit rot in the newest checkpoint generation costs one
+        generation, not the run: resume falls back to N-1 (with a
+        logged warning) and still converges to the same fingerprint."""
+        base = baselines["a3c"]
+        work = tmp_path / "run"
+        shutil.copytree(base["dir"], work)
+        # crash just after the second checkpoint so exactly two
+        # generations survive
+        seqs = sorted(json.loads(p.read_text())["integrity"]["journal_seq"]
+                      for p in (base["dir"] / GENERATIONS_DIR).iterdir())
+        assert len(seqs) >= 2, "scenario needs two checkpoint generations"
+        crash_at(work, seqs[1])
+        gens = sorted((work / GENERATIONS_DIR).iterdir())
+        assert len(gens) == 2
+        data = json.loads(gens[-1].read_text())
+        data["time"] = -1.0
+        gens[-1].write_text(json.dumps(data))
+        with caplog.at_level("WARNING", logger="repro.search.journal"):
+            result, _search, _counter = run_durable(work)
+        assert any("falling back" in rec.message for rec in caplog.records)
+        assert result.fingerprint() == base["fingerprint"]
+        assert _journal_real_evals(work) == base["real"]
+
+
+def real_evals_before(journal_dir, k: int) -> int:
+    """Real executions among the first ``k`` surviving records."""
+    events = read_journal(Path(journal_dir) / JOURNAL_NAME)
+    return sum(1 for e in list(events)[:k]
+               if e.kind == EVAL_DONE and "arch" in e.payload
+               and not e.payload.get("replayed"))
+
+
+class TestCounterRestoration:
+    """Satellite: broker counters and batch tallies after resume match
+    the uninterrupted run exactly, on every backend."""
+
+    @pytest.mark.parametrize("backend", ("serial", "thread"))
+    def test_counters_match_uninterrupted(self, backend, baselines,
+                                          tmp_path):
+        base = (baselines["a3c"] if backend == "serial"
+                else self._baseline(tmp_path / "base", backend))
+        work = tmp_path / "run"
+        shutil.copytree(base["dir"], work)
+        crash_at(work, base["lines"] // 2)
+        result, search, _counter = run_durable(work, backend=backend)
+        assert result.fingerprint() == base["fingerprint"]
+        assert result.num_evaluations == base["evals"]
+        assert broker_counters(search) == base["counters"]
+
+    @pytest.mark.proc
+    def test_counters_match_uninterrupted_process(self, tmp_path):
+        base = self._baseline(tmp_path / "base", "process")
+        work = tmp_path / "run"
+        shutil.copytree(base["dir"], work)
+        crash_at(work, base["lines"] // 2)
+        result, search, _counter = run_durable(work, backend="process")
+        assert result.fingerprint() == base["fingerprint"]
+        assert result.num_evaluations == base["evals"]
+        assert broker_counters(search) == base["counters"]
+
+    def _baseline(self, directory, backend):
+        result, search, _counter = run_durable(directory, backend=backend)
+        return {"dir": directory, "fingerprint": result.fingerprint(),
+                "lines": journal_lines(directory),
+                "evals": result.num_evaluations,
+                "counters": broker_counters(search)}
+
+    def test_batch_stats_suffix_matches(self, baselines, tmp_path):
+        """The resumed run's re-emitted per-batch tallies are exactly a
+        suffix of the uninterrupted run's tally stream (the resumed
+        window starts at the checkpointed agent boundaries, which may
+        sit a few records before the generation's own journal stamp).
+        Plan-cache hit/miss splits are excluded by design: the resumed
+        process starts with a cold plan cache."""
+        base = baselines["a3c"]
+        work = tmp_path / "run"
+        shutil.copytree(base["dir"], work)
+        k = base["lines"] // 2
+        crash_at(work, k)
+        run_durable(work)
+
+        def tallies(directory, start):
+            events = list(read_journal(Path(directory) / JOURNAL_NAME))
+            return [(e.agent_id, e.payload["batch"], e.payload["distinct"])
+                    for e in events[start:] if e.kind == BATCH_STATS]
+
+        resumed = tallies(work, k)
+        full = tallies(base["dir"], 0)
+        assert resumed, "resumed run re-emitted no batch tallies"
+        assert resumed == full[-len(resumed):]
+
+
+class TestBalsamCheckpointOnly:
+    def test_balsam_resumes_from_checkpoint_without_replay(self, tmp_path):
+        """Virtual-time searches journal and checkpoint like everyone
+        else but skip evaluation replay: the checkpoint alone resumes
+        them deterministically."""
+        base_dir = tmp_path / "base"
+        result, _search, _counter = run_durable(base_dir, backend="balsam")
+        base_fp = result.fingerprint()
+        work = tmp_path / "run"
+        shutil.copytree(base_dir, work)
+        crash_at(work, journal_lines(base_dir) // 2)
+        result, search, _counter = run_durable(work, backend="balsam")
+        assert search.num_replay_loaded == 0
+        assert result.fingerprint() == base_fp
+
+
+@pytest.mark.crashfuzz
+def test_crashpoint_fuzzer_smoke():
+    """The real thing, bounded: SIGKILL a journaled subprocess search at
+    one stratified journal record, resume, and hold both durability
+    promises (bit-identical fingerprint, zero re-evaluation)."""
+    rows = crashpoint_matrix(points=1, methods=("a3c",),
+                             backends=("serial",))
+    assert rows and rows[0]["kills_landed"] >= 1
+    assert check_crashpoint_rows(rows) == []
