@@ -25,10 +25,12 @@ verify:
 	$(PYTHON) -m repro.verify all --output VERIFY_report.json
 
 ## static hygiene: import-cycle check over src/repro (stdlib, always
-## runs), byte-compile sanity, and ruff (skipped with a notice when the
-## environment doesn't ship it — config lives in pyproject.toml)
+## runs), the ≤60-line function budget over the search-runtime seam
+## modules, byte-compile sanity, and ruff (skipped with a notice when
+## the environment doesn't ship it — config lives in pyproject.toml)
 lint:
 	$(PYTHON) tools/check_imports.py
+	$(PYTHON) tools/check_runtime_shape.py
 	$(PYTHON) -m compileall -q src tools
 	@if command -v ruff >/dev/null 2>&1; then \
 		ruff check src tools; \
@@ -38,18 +40,19 @@ lint:
 
 ## substrate smoke check: lint gate + core NN/RL tests + one quick
 ## benchmark pass + the bench regression gate over BENCH_substrate.json
-## + a bounded crash-point fuzzing pass (one method/backend cell)
+## + a bounded crash-point fuzzing pass (a3c/ambs/evolution on serial)
 smoke: lint bench-table
 	$(PYTHON) -m repro.perf --help >/dev/null  # import sanity
 	$(PYTHON) -c "import sys; from repro.perf import smoke; sys.exit(smoke([]))"
 	$(PYTHON) tools/check_bench.py
 	$(PYTHON) -m repro.search.chaos --profile crashpoint \
-		--methods a3c --backends serial --points 2
+		--methods a3c,ambs,evolution --backends serial --points 1
 
 ## tabular-benchmark smoke: sweep a tiny capped Combo sub-space into a
 ## resumable arch→metrics table (repro.bench), re-enter it to prove the
-## resume path, then replay seeded a3c/rdm searches against the table
-## and print the exact-regret comparison (docs/benchmark.md)
+## resume path, then replay seeded searches of every method family
+## (a3c/rdm/ambs/evolution) against the table and print the
+## exact-regret comparison (docs/benchmark.md)
 bench-table:
 	rm -rf .bench_table
 	$(PYTHON) -m repro.bench sweep --problem combo --cap-ops 2 --cap 128 \
@@ -57,8 +60,9 @@ bench-table:
 	$(PYTHON) -m repro.bench sweep --problem combo --cap-ops 2 --cap 128 \
 		--out .bench_table --backend thread --workers 2 --shard-size 64
 	$(PYTHON) -m repro.bench info .bench_table
-	$(PYTHON) -m repro.bench compare .bench_table --methods a3c,rdm \
-		--runs 2 --minutes 10 --agents 2 --workers 3
+	$(PYTHON) -m repro.bench compare .bench_table \
+		--methods a3c,rdm,ambs,evolution --runs 2 --minutes 10 \
+		--agents 2 --workers 3 --population 8 --tournament 3
 
 ## fault-matrix smoke: seeded fault injection at several failure rates,
 ## bounded reward degradation, the numerical health-layer profile

@@ -3,11 +3,12 @@
 from .io import load_records, save_records, save_result_summary
 from .quantiles import band_spread, quantile_bands
 from .regret import (compare_report, evaluations_to_regret,
-                     fraction_of_optimum_trajectory, regret_summary,
+                     fraction_of_optimum_trajectory,
+                     labeled_regret_trajectories, regret_summary,
                      regret_trajectory)
 from .topk import (cache_hit_fraction, evaluations_per_agent,
                    top_k_architectures, unique_architectures)
 from .trajectory import (best_so_far_trajectory, binned_mean_trajectory,
                          rolling_mean_trajectory, time_to_reward)
 
-__all__ = ['band_spread', 'best_so_far_trajectory', 'binned_mean_trajectory', 'cache_hit_fraction', 'compare_report', 'evaluations_per_agent', 'evaluations_to_regret', 'fraction_of_optimum_trajectory', 'load_records', 'quantile_bands', 'regret_summary', 'regret_trajectory', 'rolling_mean_trajectory', 'save_records', 'save_result_summary', 'time_to_reward', 'top_k_architectures', 'unique_architectures']
+__all__ = ['band_spread', 'best_so_far_trajectory', 'binned_mean_trajectory', 'cache_hit_fraction', 'compare_report', 'evaluations_per_agent', 'evaluations_to_regret', 'fraction_of_optimum_trajectory', 'labeled_regret_trajectories', 'load_records', 'quantile_bands', 'regret_summary', 'regret_trajectory', 'rolling_mean_trajectory', 'save_records', 'save_result_summary', 'time_to_reward', 'top_k_architectures', 'unique_architectures']

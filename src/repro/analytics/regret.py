@@ -16,7 +16,8 @@ import numpy as np
 from ..search.base import RewardRecord
 
 __all__ = ["regret_trajectory", "fraction_of_optimum_trajectory",
-           "evaluations_to_regret", "regret_summary", "compare_report"]
+           "evaluations_to_regret", "regret_summary",
+           "labeled_regret_trajectories", "compare_report"]
 
 
 def _best_so_far(records: list[RewardRecord]) -> np.ndarray:
@@ -80,12 +81,17 @@ def evaluations_to_regret(records: list[RewardRecord], optimum: float,
     return None
 
 
-def regret_summary(records: list[RewardRecord], optimum: float) -> dict:
-    """Scalar regret metrics of one run against a table optimum."""
+def regret_summary(records: list[RewardRecord], optimum: float,
+                   method: str | None = None) -> dict:
+    """Scalar regret metrics of one run against a table optimum.
+
+    ``method`` labels the summary (a ``"method"`` key) so multi-method
+    comparisons stay self-describing once summaries are pooled.
+    """
     traj = regret_trajectory(records, optimum)
     frac = fraction_of_optimum_trajectory(records, optimum)
     to_opt = evaluations_to_regret(records, optimum)
-    return {
+    out = {
         "evaluations": len(records),
         "final_regret": float(traj[-1, 1]) if len(traj) else None,
         "final_fraction_of_optimum": (float(frac[-1, 1])
@@ -95,20 +101,42 @@ def regret_summary(records: list[RewardRecord], optimum: float) -> dict:
         "evaluations_to_regret_0.05":
             evaluations_to_regret(records, optimum, 0.05),
     }
+    if method is not None:
+        out["method"] = method
+    return out
+
+
+def labeled_regret_trajectories(runs: dict[str, list[list[RewardRecord]]],
+                                optimum: float) -> dict[str, list]:
+    """Method-labeled regret trajectories over seeded replays.
+
+    ``runs`` maps a method name to its replicate record lists (the
+    ``compare_report`` input); the result maps each method to one
+    ``[[minutes, regret], ...]`` trajectory per replicate, ready for a
+    one-command a3c-vs-ambs-vs-evolution regret plot.
+    """
+    return {name: [regret_trajectory(recs, optimum).tolist()
+                   for recs in replicates]
+            for name, replicates in runs.items()}
 
 
 def compare_report(runs: dict[str, list[list[RewardRecord]]],
-                   optimum: float) -> dict:
+                   optimum: float,
+                   trajectories: bool = False) -> dict:
     """Method-comparison report over seeded replays of one table.
 
     ``runs`` maps a method name to its replicate record lists (one per
     seed).  Per method the report aggregates final regret (mean / min /
     max across replicates) and how many replicates found the exact
-    optimum — the ``repro.bench compare`` payload.
+    optimum — the ``repro.bench compare`` payload.  With
+    ``trajectories`` the report also carries each method's full
+    per-replicate regret trajectories
+    (:func:`labeled_regret_trajectories`).
     """
     methods = {}
     for name, replicates in runs.items():
-        summaries = [regret_summary(recs, optimum) for recs in replicates]
+        summaries = [regret_summary(recs, optimum, method=name)
+                     for recs in replicates]
         finals = [s["final_regret"] for s in summaries
                   if s["final_regret"] is not None]
         methods[name] = {
@@ -122,4 +150,7 @@ def compare_report(runs: dict[str, list[list[RewardRecord]]],
                 [s["evaluations"] for s in summaries])),
             "per_replicate": summaries,
         }
-    return {"optimum": float(optimum), "methods": methods}
+    report = {"optimum": float(optimum), "methods": methods}
+    if trajectories:
+        report["trajectories"] = labeled_regret_trajectories(runs, optimum)
+    return report

@@ -9,9 +9,10 @@ Commands
 ``info``
     Inspect a table directory: rows, optimum, fingerprint.
 ``compare``
-    Replay N seeded searches per method (a3c / a2c / rdm / evolution)
-    against one shared table via :class:`~repro.rewards.tabular.
-    TabularReward` and print the exact-regret comparison report.
+    Replay N seeded searches per registered method (a3c / a2c / rdm /
+    ambs / evolution) against one shared table via
+    :class:`~repro.rewards.tabular.TabularReward` and print the
+    exact-regret comparison report.
 
 See ``docs/benchmark.md`` for the full workflow.
 """
@@ -30,8 +31,7 @@ from ..problems.combo import COMBO_PAPER_SHAPES, combo_head
 from ..problems.nt3 import NT3_PAPER_SHAPES, nt3_head
 from ..problems.uno import UNO_PAPER_SHAPES, uno_head
 from ..rewards import SurrogateReward, TabularReward
-from ..search import (EvolutionConfig, SearchConfig, run_evolution,
-                      run_search)
+from ..search import SEARCH_METHODS, SearchConfig, run_search
 from .subspace import capped_space, enumeration_count
 from .sweep import SweepConfig, sweep_space
 from .table import ArchTable
@@ -44,7 +44,7 @@ _PAPER = {
     "nt3": (NT3_PAPER_SHAPES, nt3_head, TrainingCostModel.nt3_paper),
 }
 
-_METHODS = ("a3c", "a2c", "rdm", "evolution")
+_METHODS = tuple(sorted(SEARCH_METHODS))
 
 
 def _build_space(problem: str, size: str, scale: float, cap_ops: int | None):
@@ -143,25 +143,22 @@ def _cmd_compare(args) -> int:
         for rep in range(args.runs):
             seed = args.seed + rep
             reward = _tabular_for(table, args.miss)
-            if method == "evolution":
-                result = run_evolution(
-                    reward_model=reward,
-                    space=reward.resolver.structure,
-                    config=EvolutionConfig(allocation=alloc,
-                                           wall_time=wall, seed=seed))
-            else:
-                result = run_search(
-                    reward.resolver.structure, reward,
-                    SearchConfig(method=method, allocation=alloc,
-                                 wall_time=wall, seed=seed))
+            result = run_search(
+                reward.resolver.structure, reward,
+                SearchConfig(method=method, allocation=alloc,
+                             wall_time=wall, seed=seed,
+                             population_size=args.population,
+                             tournament_size=args.tournament))
             replicates.append(result.records)
-            summary = regret_summary(result.records, optimum)
+            summary = regret_summary(result.records, optimum,
+                                     method=method)
             print(f"  {method} seed={seed}: evals={summary['evaluations']} "
                   f"final_regret={summary['final_regret']:.4f} "
                   f"optimum_found={summary['found_optimum']}")
         runs[method] = replicates
 
-    report = compare_report(runs, optimum)
+    report = compare_report(runs, optimum,
+                            trajectories=args.trajectories)
     print(f"\n{'method':<10} {'reps':>4} {'mean_regret':>12} "
           f"{'min':>8} {'max':>8} {'opt_hits':>8}")
     for name, m in report["methods"].items():
@@ -221,7 +218,11 @@ def build_parser() -> argparse.ArgumentParser:
                             "and report exact regret per method")
     p.add_argument("table")
     p.add_argument("--methods", default="a3c,rdm",
-                   help="comma list from a3c,a2c,rdm,evolution")
+                   help=f"comma list from {','.join(_METHODS)}")
+    p.add_argument("--population", type=int, default=20,
+                   help="method=evolution: aging-population window")
+    p.add_argument("--tournament", type=int, default=5,
+                   help="method=evolution: tournament draw size")
     p.add_argument("--runs", type=int, default=3,
                    help="seeded replays per method")
     p.add_argument("--seed", type=int, default=0, help="base seed")
@@ -234,6 +235,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="table-miss policy during replays (sampled "
                         "tables are incomplete; failure is the safe "
                         "default)")
+    p.add_argument("--trajectories", action="store_true",
+                   help="include method-labeled per-replicate regret "
+                        "trajectories in the report")
     p.add_argument("--output", help="write the JSON report here")
     p.set_defaults(fn=_cmd_compare)
     return parser

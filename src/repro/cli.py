@@ -42,7 +42,7 @@ from .problems.nt3 import NT3_PAPER_SHAPES, nt3_head
 from .problems.uno import UNO_PAPER_SHAPES, uno_head
 from .events import JsonlSink
 from .rewards import SurrogateReward
-from .search import NasSearch, SearchConfig, resume_durable
+from .search import NasSearch, SEARCH_METHODS, SearchConfig, resume_durable
 from .search.checkpoint import SearchCheckpoint
 
 __all__ = ["main"]
@@ -78,6 +78,13 @@ def _space_name(problem: str, size: str) -> str:
 
 
 def _cmd_search(args) -> int:
+    if getattr(args, "list_methods", False):
+        print(f"{'method':<10} {'learns':>6}  summary")
+        for name in sorted(SEARCH_METHODS):
+            m = SEARCH_METHODS[name]
+            print(f"{name:<10} {'yes' if m.learns else 'no':>6}  "
+                  f"{m.summary}")
+        return 0
     shapes, head, cost = _PAPER[args.problem]
     space = get_space(_space_name(args.problem, args.size))
     reward = SurrogateReward(
@@ -301,7 +308,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--problem", choices=("combo", "uno", "nt3"),
                    default="combo")
     p.add_argument("--size", choices=("small", "large"), default="small")
-    p.add_argument("--method", choices=("a3c", "a2c", "rdm"), default="a3c")
+    p.add_argument("--method", choices=tuple(sorted(SEARCH_METHODS)),
+                   default="a3c")
+    p.add_argument("--list-methods", action="store_true",
+                   help="list the registered search methods and exit")
     p.add_argument("--nodes", type=int, default=256,
                    choices=(256, 512, 1024))
     p.add_argument("--scaling", choices=("agents", "workers"),

@@ -1,26 +1,35 @@
-"""Parallel NAS search strategies: A3C, A2C and random search (RDM)."""
+"""Parallel NAS search: RL (A3C/A2C), random, AMBS, and evolution."""
 
 from ..hpc.cluster import NodeAllocation
 from ..hpc.faults import FaultConfig
+from .ambs import AmbsProposer
 from .base import RewardRecord, SearchConfig, SearchResult
 from .checkpoint import AgentCheckpoint, SearchCheckpoint
-from .evolution import EvolutionConfig, EvolutionSearch, run_evolution
+from .evolution import (EvolutionConfig, EvolutionProposer, EvolutionSearch,
+                        run_evolution)
 from .exchange import (EXCHANGE_STRATEGIES, A2CExchange, A3CExchange,
-                       ExchangeStrategy, RandomExchange, build_exchange)
+                       ExchangeStrategy, RandomExchange)
 from .hooks import (BoundaryHook, HealthHook, HookStack, LifecycleHooks,
                     NumericFaultHook, RecordCheckpointHook)
 from .journal import SearchJournal, resume_durable
 from .loop import AgentLoop
+from .methods import (SEARCH_METHODS, SearchMethod, build_exchange,
+                      build_proposer)
+from .proposer import (HistoryProposer, PolicyProposer, Proposer,
+                       RandomProposer)
 from .runner import NasSearch, resume_search, run_search
 
 __all__ = ['A2CExchange', 'A3CExchange', 'AgentCheckpoint', 'AgentLoop',
-           'BoundaryHook', 'EXCHANGE_STRATEGIES', 'EvolutionConfig',
-           'EvolutionSearch', 'ExchangeStrategy', 'FaultConfig',
-           'HealthHook', 'HookStack', 'LifecycleHooks', 'NasSearch',
-           'NodeAllocation', 'NumericFaultHook', 'RandomExchange',
-           'RecordCheckpointHook', 'RewardRecord', 'SearchCheckpoint',
-           'SearchConfig', 'SearchJournal', 'SearchResult',
-           'build_exchange', 'resume_durable', 'resume_search',
+           'AmbsProposer', 'BoundaryHook', 'EXCHANGE_STRATEGIES',
+           'EvolutionConfig', 'EvolutionProposer', 'EvolutionSearch',
+           'ExchangeStrategy', 'FaultConfig', 'HealthHook',
+           'HistoryProposer', 'HookStack', 'LifecycleHooks', 'NasSearch',
+           'NodeAllocation', 'NumericFaultHook', 'PolicyProposer',
+           'Proposer', 'RandomExchange', 'RandomProposer',
+           'RecordCheckpointHook', 'RewardRecord', 'SEARCH_METHODS',
+           'SearchCheckpoint', 'SearchConfig', 'SearchJournal',
+           'SearchMethod', 'SearchResult', 'build_exchange',
+           'build_proposer', 'resume_durable', 'resume_search',
            'run_evolution', 'run_search']
 
 
@@ -37,3 +46,13 @@ def a2c_config(**kwargs) -> SearchConfig:
 def rdm_config(**kwargs) -> SearchConfig:
     """Random-search baseline configuration."""
     return SearchConfig(method="rdm", **kwargs)
+
+
+def ambs_config(**kwargs) -> SearchConfig:
+    """Asynchronous model-based search configuration."""
+    return SearchConfig(method="ambs", **kwargs)
+
+
+def evolution_config(**kwargs) -> SearchConfig:
+    """Aging-evolution configuration."""
+    return SearchConfig(method="evolution", **kwargs)

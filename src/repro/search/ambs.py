@@ -1,0 +1,144 @@
+"""Asynchronous model-based search (AMBS) on the proposer seam.
+
+DeepHyper-style surrogate search: fit a cheap model on every
+(architecture, reward) pair observed so far, score a candidate pool
+with an optimistic acquisition, and propose the best candidates.  The
+pieces:
+
+* **Encoding** — each action row becomes a one-hot vector per decision
+  plus an intercept column, so the surrogate is linear in option
+  *membership* rather than in the (meaningless) integer option index.
+* **Surrogate** — a bootstrap ensemble of ridge regressions.  Each
+  member solves ``(XᵀX + λI) w = Xᵀy`` on a resampled subset; the
+  ensemble spread is the uncertainty estimate.  Closed-form ``solve``
+  keeps fits deterministic and dependency-free.
+* **Acquisition** — upper confidence bound on reward,
+  ``mean + kappa·std`` (equivalently LCB on the negated objective, the
+  DeepHyper convention); maximized over a candidate pool of uniform
+  rows mixed with mutations of the best architectures seen.
+* **Constant liar** — a batch is proposed slot by slot: after each
+  pick, a "lie" reward (min/mean/max of the observed rewards, per
+  ``ambs_liar``) is appended to the fit set so the remaining slots
+  spread out instead of proposing the same argmax B times.
+
+The proposer reads only the shared observation history (through the
+boundary watermark on resume) and ``loop.rng``, so same-seed runs and
+checkpoint resumes are bit-identical like every other method.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .proposer import HistoryProposer, mutate_choices
+
+__all__ = ["AmbsProposer", "encode_rows", "RidgeEnsemble"]
+
+#: cap on how much history one fit consumes (keeps per-iteration fit
+#: cost flat on long runs; the newest observations matter most)
+_FIT_WINDOW = 2048
+#: ridge regularizer — small enough not to bias, large enough that the
+#: normal equations stay well-conditioned on tiny warm-up fit sets
+_RIDGE_LAMBDA = 1e-2
+
+
+def encode_rows(rows: np.ndarray, dims: np.ndarray) -> np.ndarray:
+    """One-hot encode integer action rows, plus an intercept column.
+
+    ``rows`` is ``(N, T)`` with ``rows[:, t] < dims[t]``; the result is
+    ``(N, sum(dims) + 1)`` float64.
+    """
+    rows = np.asarray(rows, dtype=np.int64)
+    n = rows.shape[0]
+    width = int(np.sum(dims)) + 1
+    out = np.zeros((n, width), dtype=np.float64)
+    offset = 0
+    for t, d in enumerate(dims):
+        out[np.arange(n), offset + rows[:, t]] = 1.0
+        offset += int(d)
+    out[:, -1] = 1.0
+    return out
+
+
+class RidgeEnsemble:
+    """Bootstrap ensemble of closed-form ridge regressions."""
+
+    def __init__(self, members: int, lam: float = _RIDGE_LAMBDA) -> None:
+        self.members = members
+        self.lam = lam
+        self._weights: np.ndarray | None = None   # (members, D)
+
+    def fit(self, x: np.ndarray, y: np.ndarray,
+            rng: np.random.Generator) -> None:
+        n, d = x.shape
+        eye = self.lam * np.eye(d)
+        weights = np.empty((self.members, d), dtype=np.float64)
+        for m in range(self.members):
+            idx = rng.integers(0, n, size=n)
+            xm, ym = x[idx], y[idx]
+            weights[m] = np.linalg.solve(xm.T @ xm + eye, xm.T @ ym)
+        self._weights = weights
+
+    def predict(self, x: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Per-row ensemble ``(mean, std)`` over the candidate matrix."""
+        preds = x @ self._weights.T            # (N, members)
+        return preds.mean(axis=1), preds.std(axis=1)
+
+
+class AmbsProposer(HistoryProposer):
+    """Surrogate-guided proposal with constant-liar batching."""
+
+    name = "ambs"
+
+    def __init__(self, space, *, warmup: int, candidates: int,
+                 kappa: float, liar: str, ensemble: int) -> None:
+        super().__init__(space)
+        self.warmup = warmup
+        self.candidates = candidates
+        self.kappa = kappa
+        self.liar = liar
+        self.ensemble = ensemble
+
+    @classmethod
+    def build(cls, config, space, exchange):
+        return cls(space, warmup=config.ambs_warmup,
+                   candidates=config.ambs_candidates,
+                   kappa=config.ambs_kappa, liar=config.ambs_liar,
+                   ensemble=config.ambs_ensemble)
+
+    def propose(self, loop, seen=None):
+        obs = self.history(seen)[-_FIT_WINDOW:]
+        if len(obs) < self.warmup:
+            return loop.rng.integers(0, self.dims,
+                                     size=(loop.batch, len(self.dims)))
+        rows = np.array([c for c, _ in obs], dtype=np.int64)
+        # failed evals report NaN reward; score them as worst-case so
+        # the surrogate steers away instead of poisoning the fit
+        rewards = np.nan_to_num(np.array([r for _, r in obs]), nan=-1.0)
+        picks = np.empty((loop.batch, len(self.dims)), dtype=np.int64)
+        lie = {"min": np.min, "mean": np.mean,
+               "max": np.max}[self.liar](rewards)
+        for slot in range(loop.batch):
+            picks[slot] = self._propose_one(loop.rng, rows, rewards)
+            rows = np.vstack([rows, picks[slot]])
+            rewards = np.append(rewards, lie)
+        return picks
+
+    def _propose_one(self, rng, rows, rewards):
+        """Fit on (rows, rewards) and return the acquisition argmax."""
+        model = RidgeEnsemble(self.ensemble)
+        model.fit(encode_rows(rows, self.dims), rewards, rng)
+        pool = self._candidate_pool(rng, rows, rewards)
+        mean, std = model.predict(encode_rows(pool, self.dims))
+        return pool[int(np.argmax(mean + self.kappa * std))]
+
+    def _candidate_pool(self, rng, rows, rewards):
+        """¾ uniform exploration rows, ¼ mutations of the top archs."""
+        n_mut = self.candidates // 4
+        pool = rng.integers(0, self.dims,
+                            size=(self.candidates - n_mut, len(self.dims)))
+        top = np.argsort(rewards)[::-1][:max(1, n_mut)]
+        mutants = np.array([
+            mutate_choices(self.space, rows[top[i % len(top)]], rng)
+            for i in range(n_mut)], dtype=np.int64).reshape(n_mut, -1)
+        return np.vstack([pool, mutants]) if n_mut else pool

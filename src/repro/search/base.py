@@ -28,7 +28,7 @@ class SearchConfig:
     epochs=4 / clip=0.2 / lr=0.001.
     """
 
-    method: str = "a3c"                   # "a3c" | "a2c" | "rdm"
+    method: str = "a3c"       # any name in repro.search.methods.SEARCH_METHODS
     allocation: NodeAllocation = field(
         default_factory=NodeAllocation.paper_256)
     wall_time: float = 360.0 * 60.0       # seconds of (virtual) wall clock
@@ -121,6 +121,24 @@ class SearchConfig:
     #: records have accumulated since the last capture (None = off);
     #: fires at iteration boundaries, so resumed runs stay bit-identical
     checkpoint_every_records: int | None = None
+    #: method="evolution": aging-population window and tournament draw
+    #: (defaults follow Real et al., 2018)
+    population_size: int = 50
+    tournament_size: int = 10
+    #: method="ambs": observations required before the surrogate takes
+    #: over from random proposals
+    ambs_warmup: int = 10
+    #: method="ambs": acquisition candidate-pool size per batch slot
+    ambs_candidates: int = 128
+    #: method="ambs": UCB exploration weight (mean + kappa * std); 1.0
+    #: calibrates to the bootstrap ridge ensemble's spread, which runs
+    #: wide on small fit sets (1.96 over-explores)
+    ambs_kappa: float = 1.0
+    #: method="ambs": constant-liar reward for in-flight batch slots —
+    #: "min" | "mean" | "max" of the observed rewards
+    ambs_liar: str = "min"
+    #: method="ambs": bootstrap ridge-ensemble members
+    ambs_ensemble: int = 8
 
     def __post_init__(self) -> None:
         if self.max_restarts < 0:
@@ -136,12 +154,32 @@ class SearchConfig:
             raise ValueError("max_iterations must be positive")
         if self.proc is not None and self.backend != "process":
             raise ValueError("proc config requires backend='process'")
-        # validated against the strategy registry, so registering a new
-        # exchange mode is all a new method name needs (imported lazily:
-        # exchange pulls in the rl/health stacks)
-        from .exchange import EXCHANGE_STRATEGIES
-        if self.method not in EXCHANGE_STRATEGIES:
-            raise ValueError(f"unknown method {self.method!r}")
+        # validated against the method registry, so a registered
+        # proposer/exchange pairing is all a new method name needs
+        # (imported lazily: methods pulls in the rl/health stacks)
+        from .methods import SEARCH_METHODS
+        if self.method not in SEARCH_METHODS:
+            raise ValueError(
+                f"unknown method {self.method!r}; registered methods: "
+                f"{', '.join(sorted(SEARCH_METHODS))}")
+        if self.population_size <= 1:
+            raise ValueError("population_size must be > 1")
+        if not 1 <= self.tournament_size <= self.population_size:
+            raise ValueError(
+                "tournament_size must be in [1, population_size]")
+        if self.ambs_warmup < 1:
+            raise ValueError("ambs_warmup must be positive")
+        if self.ambs_candidates < 1:
+            raise ValueError("ambs_candidates must be positive")
+        if self.ambs_kappa < 0:
+            raise ValueError("ambs_kappa must be non-negative")
+        if self.ambs_liar not in ("min", "mean", "max"):
+            raise ValueError(
+                f"ambs_liar must be 'min', 'mean' or 'max', "
+                f"got {self.ambs_liar!r}")
+        if self.ambs_ensemble < 2:
+            raise ValueError("ambs_ensemble must be >= 2 (the ensemble "
+                             "spread is the uncertainty estimate)")
         if self.wall_time <= 0:
             raise ValueError("wall_time must be positive")
         if self.batch_deadline is not None and self.batch_deadline <= 0:

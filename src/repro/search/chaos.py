@@ -56,6 +56,7 @@ from ..rewards import SurrogateReward
 from ..rewards.base import EvalResult, RewardModel
 from .base import SearchConfig
 from .journal import JOURNAL_NAME, read_journal, resume_durable
+from .methods import SEARCH_METHODS
 from .runner import NasSearch
 
 __all__ = ["ChaosEvalModel", "CountingRewardModel", "fault_levels",
@@ -645,7 +646,7 @@ def main(argv: list[str] | None = None) -> int:
                         help="virtual wall time per run (default 45)")
     parser.add_argument("--seed", type=int, default=1)
     parser.add_argument("--method", default="a3c",
-                        choices=("a3c", "a2c", "rdm"))
+                        choices=tuple(sorted(SEARCH_METHODS)))
     parser.add_argument("--tolerance", type=float, default=0.05,
                         help="allowed best-reward degradation vs "
                              "fault-free, as a fraction (default 0.05)")

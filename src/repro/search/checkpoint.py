@@ -78,6 +78,12 @@ class AgentBoundary:
     #: rate off from its configured value; None otherwise, keeping the
     #: guard-off checkpoint schema unchanged
     lr: float | None = None
+    #: shared-history watermark (ambs/evolution): how many observations
+    #: the proposer had folded when this iteration began, so a resumed
+    #: agent's re-proposal reads exactly the history prefix the original
+    #: one saw.  None for the RL/rdm methods (proposals depend only on
+    #: per-agent state), keeping the v1 schema for them unchanged.
+    proposer_seen: int | None = None
 
 
 @dataclass
@@ -260,6 +266,9 @@ def _agent_to_json(agent: AgentCheckpoint) -> dict:
         "boundary": None if b is None else {
             # recover-mode only; absent keeps the guard-off v1 schema
             **({} if b.lr is None else {"lr": b.lr}),
+            # shared-history methods only; absent keeps the v1 schema
+            **({} if b.proposer_seen is None
+               else {"proposer_seen": b.proposer_seen}),
             "time": b.time,
             "iteration": b.iteration,
             "rng_state": _jsonable(b.rng_state),
@@ -303,7 +312,9 @@ def _agent_from_json(data: dict) -> AgentCheckpoint:
         num_cache_hits=int(b["num_cache_hits"]),
         num_failed=int(b["num_failed"]),
         traj_digest=str(b.get("traj_digest", "")),
-        lr=(None if b.get("lr") is None else float(b["lr"])))
+        lr=(None if b.get("lr") is None else float(b["lr"])),
+        proposer_seen=(None if b.get("proposer_seen") is None
+                       else int(b["proposer_seen"])))
     cache = [(_key_from_json(key), _result_from_json(res))
              for key, res in data["cache"]]
     return AgentCheckpoint(agent_id=int(data["agent_id"]),

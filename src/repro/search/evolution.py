@@ -1,38 +1,101 @@
-"""Regularized (aging) evolution baseline.
+"""Regularized (aging) evolution on the proposer seam.
 
 §7 lists "comparing our approach with extremely scalable evolutionary
-approaches" as future work; this module provides that comparator on the
-same substrate: asynchronous steady-state aging evolution (Real et al.,
-2018) over the identical search space, evaluator, cluster, and reward
-model, so RL-vs-evolution comparisons hold everything else constant.
+approaches" as future work; :class:`EvolutionProposer` provides that
+comparator *inside* the search runtime: asynchronous steady-state aging
+evolution (Real et al., 2018) riding the same broker, event stream,
+checkpoints, journal, and chaos coverage as every other method
+(``SearchConfig(method="evolution")``).
 
-Each worker process loops: draw a parent by tournament from the current
-population (or a random architecture while the population warms up),
-mutate one decision, evaluate, and insert the child; the oldest member
-is evicted (aging), which is the regularization.
+The population is not separate state: it is a sliding window over the
+shared observation history — the newest ``population_size``
+architectures observed.  Appending a child and evicting the oldest
+member (the aging regularization) is exactly advancing that window, so
+checkpoint resume rebuilds the population from the kept records with no
+extra payload.  Each proposal draws a tournament from the current
+window (or a uniform random architecture while the population warms up)
+and mutates one decision of the winner.
+
+:class:`EvolutionSearch` / :func:`run_evolution` remain as thin
+deprecation shims over the runtime for pre-seam call sites; the
+standalone worker-loop implementation they used to carry is gone.
 """
 
 from __future__ import annotations
 
+import warnings
 from collections import deque
 from dataclasses import dataclass
 
 import numpy as np
 
-from ..evaluator.balsam import BalsamEvaluator, BalsamService
-from ..hpc.cluster import Cluster, NodeAllocation
-from ..hpc.sim import Simulator, Timeout
+from ..hpc.cluster import NodeAllocation
 from ..nas.arch import Architecture
 from ..nas.space import Structure
 from ..rewards.base import RewardModel
-from .base import RewardRecord, SearchConfig, SearchResult
+from .base import SearchConfig, SearchResult
+from .proposer import HistoryProposer, mutate_choices
 
-__all__ = ["EvolutionConfig", "EvolutionSearch", "run_evolution"]
+__all__ = ["EvolutionProposer", "EvolutionConfig", "EvolutionSearch",
+           "run_evolution"]
 
+
+class EvolutionProposer(HistoryProposer):
+    """Aging evolution with tournament selection over the obs window."""
+
+    name = "evolution"
+
+    def __init__(self, space, *, population_size: int,
+                 tournament_size: int) -> None:
+        super().__init__(space)
+        self.population_size = population_size
+        self.tournament_size = tournament_size
+
+    @classmethod
+    def build(cls, config, space, exchange):
+        return cls(space, population_size=config.population_size,
+                   tournament_size=config.tournament_size)
+
+    def population(self, seen: int | None = None):
+        """The live population: the newest ``population_size`` observed
+        (choices, reward) pairs — aging eviction is the window edge."""
+        return self.history(seen)[-self.population_size:]
+
+    def propose(self, loop, seen=None):
+        pop = self.population(seen)
+        picks = np.empty((loop.batch, len(self.dims)), dtype=np.int64)
+        for slot in range(loop.batch):
+            if len(pop) < self.population_size:
+                picks[slot] = loop.rng.integers(0, self.dims,
+                                                size=len(self.dims))
+            else:
+                parent = self._tournament(loop.rng, pop)
+                picks[slot] = mutate_choices(self.space, parent, loop.rng)
+        return picks
+
+    def _tournament(self, rng, pop) -> tuple:
+        """Best of ``tournament_size`` members drawn without replacement
+        (NaN rewards from failed evals rank below everything)."""
+        k = min(self.tournament_size, len(pop))
+        idx = rng.choice(len(pop), size=k, replace=False)
+        best = max(idx, key=lambda i: (-np.inf if np.isnan(pop[i][1])
+                                       else pop[i][1]))
+        return pop[best][0]
+
+
+# ---------------------------------------------------------------------
+# Deprecated standalone API, now a shim over the runtime-native method.
+# ---------------------------------------------------------------------
 
 @dataclass(frozen=True)
 class EvolutionConfig:
-    """Aging-evolution settings (defaults follow Real et al.)."""
+    """Aging-evolution settings (defaults follow Real et al.).
+
+    Deprecated alongside :class:`EvolutionSearch` — new code passes
+    ``population_size`` / ``tournament_size`` on a
+    :class:`~repro.search.base.SearchConfig` with
+    ``method="evolution"``.
+    """
 
     population_size: int = 50
     tournament_size: int = 10
@@ -50,79 +113,49 @@ class EvolutionConfig:
             raise ValueError(
                 "tournament_size must be in [1, population_size]")
 
+    def to_search_config(self) -> SearchConfig:
+        return SearchConfig(method="evolution", allocation=self.allocation,
+                            wall_time=self.wall_time, seed=self.seed,
+                            population_size=self.population_size,
+                            tournament_size=self.tournament_size)
+
 
 class EvolutionSearch:
-    """Asynchronous aging evolution over the simulated cluster."""
+    """Deprecated shim: runs ``method="evolution"`` through
+    :class:`~repro.search.runner.NasSearch` and mirrors the old
+    ``records`` / ``population`` attributes."""
 
     def __init__(self, space: Structure, reward_model: RewardModel,
                  config: EvolutionConfig | None = None) -> None:
         self.space = space
         self.reward_model = reward_model
         self.config = config or EvolutionConfig()
-        self.sim = Simulator()
-        self.cluster = Cluster(self.sim, self.config.allocation.worker_nodes)
-        self.service = BalsamService(self.sim, self.cluster)
-        self.records: list[RewardRecord] = []
+        self.records: list = []
         self.population: deque[tuple[Architecture, float]] = deque()
 
     def mutate(self, arch: Architecture, rng: np.random.Generator
                ) -> Architecture:
         """Change one decision to a different uniformly drawn option."""
-        nodes = self.space.variable_nodes
-        choices = list(arch.choices)
-        # only nodes with >1 option are mutable
-        mutable = [i for i, n in enumerate(nodes) if n.num_ops > 1]
-        if not mutable:
-            return arch
-        i = mutable[rng.integers(len(mutable))]
-        new = int(rng.integers(nodes[i].num_ops - 1))
-        if new >= choices[i]:
-            new += 1  # skip the current value
-        choices[i] = new
-        return self.space.decode(choices)
-
-    def _select_parent(self, rng: np.random.Generator) -> Architecture:
-        k = min(self.config.tournament_size, len(self.population))
-        idx = rng.choice(len(self.population), size=k, replace=False)
-        best = max(idx, key=lambda i: self.population[i][1])
-        return self.population[best][0]
-
-    def _worker(self, worker_id: int):
-        cfg = self.config
-        rng = np.random.default_rng((cfg.seed, worker_id, 0xE70))
-        evaluator = BalsamEvaluator(self.service, self.reward_model,
-                                    agent_id=worker_id)
-        yield Timeout(rng.uniform(0.0, 2.0))
-        while self.sim.now < cfg.wall_time:
-            if len(self.population) < cfg.population_size:
-                arch = self.space.random_architecture(rng)
-            else:
-                arch = self.mutate(self._select_parent(rng), rng)
-            yield evaluator.add_eval_batch([arch])
-            for rec in evaluator.get_finished_evals():
-                self.records.append(RewardRecord(
-                    rec.end_time, worker_id, rec.arch, rec.reward,
-                    rec.result.params, rec.result.duration, rec.cached,
-                    rec.result.timed_out))
-                self.population.append((rec.arch, rec.reward))
-                while len(self.population) > cfg.population_size:
-                    self.population.popleft()  # aging: evict the oldest
+        return self.space.decode(
+            mutate_choices(self.space, arch.choices, rng))
 
     def run(self) -> SearchResult:
-        cfg = self.config
-        for worker_id in range(cfg.allocation.worker_nodes):
-            self.sim.process(self._worker(worker_id), name=f"evo{worker_id}")
-        self.sim.run(until=cfg.wall_time)
-        end_time = min(self.sim.now, cfg.wall_time)
-        unique = len({rec.arch.key for rec in self.records})
-        # reuse SearchResult; method recorded as "evo" via a synthetic config
-        search_cfg = SearchConfig(method="rdm", allocation=cfg.allocation,
-                                  wall_time=cfg.wall_time, seed=cfg.seed)
-        result = SearchResult(search_cfg, self.records, self.cluster,
-                              end_time, False, unique)
+        from .runner import run_search   # lazy: avoids an import cycle
+        result = run_search(self.space, self.reward_model,
+                            self.config.to_search_config())
+        self.records = result.records
+        self.population = deque(
+            (rec.arch, rec.reward)
+            for rec in result.records[-self.config.population_size:])
         return result
 
 
 def run_evolution(space: Structure, reward_model: RewardModel,
                   config: EvolutionConfig | None = None) -> SearchResult:
+    """Deprecated: use ``run_search`` with ``method="evolution"``."""
+    warnings.warn(
+        "run_evolution/EvolutionSearch are deprecated; use "
+        "run_search(space, reward_model, SearchConfig(method='evolution', "
+        "population_size=..., tournament_size=...))",
+        DeprecationWarning, stacklevel=2)
     return EvolutionSearch(space, reward_model, config).run()

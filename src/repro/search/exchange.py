@@ -16,9 +16,10 @@ and RDM (no learning, no exchange).  Each mode is one
   underlying server.
 
 New modes (local-SGD, elastic averaging, ...) are one new class in
-:data:`EXCHANGE_STRATEGIES` — the agent loop, runner, and
-``SearchConfig`` validation all consult the registry, so there is no
-``if mode ==`` arm left to extend.
+:data:`EXCHANGE_STRATEGIES` plus a pairing row in
+:data:`repro.search.methods.SEARCH_METHODS`; the agent loop and runner
+consult the registries, so there is no ``if mode ==`` arm left to
+extend.
 """
 
 from __future__ import annotations
@@ -33,7 +34,7 @@ from ..rl.policy import LSTMPolicy
 from ..rl.sharded_ps import ShardedParameterServer
 
 __all__ = ["ExchangeStrategy", "A3CExchange", "A2CExchange",
-           "RandomExchange", "EXCHANGE_STRATEGIES", "build_exchange"]
+           "RandomExchange", "EXCHANGE_STRATEGIES"]
 
 
 class ExchangeStrategy:
@@ -188,17 +189,12 @@ class RandomExchange(ExchangeStrategy):
         yield   # pragma: no cover — never driven (RDM computes no delta)
 
 
-#: method name -> strategy class; ``SearchConfig`` validates against
-#: this, so registering a class here is all a new mode needs
+#: exchange mode name -> strategy class.  This stays the *exchange*
+#: registry (three modes, §3.2); method-level registration — which
+#: proposer pairs with which exchange — lives in
+#: :data:`repro.search.methods.SEARCH_METHODS`.
 EXCHANGE_STRATEGIES: dict[str, type[ExchangeStrategy]] = {
     A3CExchange.name: A3CExchange,
     A2CExchange.name: A2CExchange,
     RandomExchange.name: RandomExchange,
 }
-
-
-def build_exchange(sim: Simulator, config, space,
-                   sink: EventSink | None = None) -> ExchangeStrategy:
-    """Instantiate the configured method's strategy (and its server)."""
-    return EXCHANGE_STRATEGIES[config.method].build(sim, config, space,
-                                                    sink=sink)

@@ -119,7 +119,8 @@ class BoundaryHook(LifecycleHooks):
             num_failed=evaluator.num_failed,
             traj_digest=loop.digest,
             lr=(updater.optimizer.lr
-                if updater is not None and self.capture_lr else None))
+                if updater is not None and self.capture_lr else None),
+            proposer_seen=loop.proposer.seen())
 
 
 class RecordCheckpointHook(LifecycleHooks):

@@ -1,10 +1,11 @@
-"""The agent loop (§3.2): one agent's sample → evaluate → learn →
-exchange cycle, composed from the three runtime seams.
+"""The agent loop (§3.2): one agent's propose → evaluate → observe
+cycle, composed from the runtime seams.
 
 :class:`AgentLoop` is a coroutine over the discrete-event kernel.  It
-knows *nothing* about a3c/a2c/rdm branching (the
-:class:`~repro.search.exchange.ExchangeStrategy` does), nothing about
-cache or failure bookkeeping (the
+knows *nothing* about how architectures are chosen or learned from (the
+:class:`~repro.search.proposer.Proposer` does — RL methods pair a
+policy proposer with an :class:`~repro.search.exchange.ExchangeStrategy`
+behind that seam), nothing about cache or failure bookkeeping (the
 :class:`~repro.evaluator.broker.EvalBroker` does), and nothing about
 checkpoints, chaos, or health guards (the
 :class:`~repro.search.hooks.LifecycleHooks` stack does).  One instance
@@ -15,7 +16,10 @@ recorded :class:`~repro.search.checkpoint.AgentBoundary` as ``resume``.
 Determinism: the loop reproduces the pre-refactor iteration byte for
 byte — same RNG draws, same simulator yields, same digest chaining —
 which is what keeps search fingerprints bit-identical across the
-refactor.
+refactor.  For shared-history proposers the boundary's
+``proposer_seen`` watermark pins the history prefix the restarted
+iteration's proposal may read, so resume re-proposes the in-flight
+batch exactly.
 """
 
 from __future__ import annotations
@@ -40,7 +44,7 @@ class AgentLoop:
     """
 
     def __init__(self, *, sim, space, config, agent_id, evaluator, policy,
-                 updater, exchange, hooks, records, digests,
+                 updater, proposer, hooks, records, digests,
                  resume=None) -> None:
         self.sim = sim
         self.space = space
@@ -49,13 +53,12 @@ class AgentLoop:
         self.evaluator = evaluator
         self.policy = policy
         self.updater = updater
-        self.exchange = exchange
+        self.proposer = proposer
         self.hooks = hooks
         self.records = records
         self.digests = digests
         self.resume = resume
         self.batch = config.allocation.workers_per_agent
-        self.dims = np.array(space.action_dims)
         # live per-lifetime state (hooks read these)
         self.rng: np.random.Generator | None = None
         self.iteration = 0
@@ -63,6 +66,8 @@ class AgentLoop:
         self.num_records = 0
         self.digest: str | None = None
         self.converged = False
+        # history watermark for the first post-resume proposal only
+        self._resume_seen: int | None = None
 
     # ------------------------------------------------------------------
     def run(self):
@@ -73,10 +78,9 @@ class AgentLoop:
                 (cfg.max_iterations is None
                  or self.iteration < cfg.max_iterations):
             self.hooks.on_iteration_start(self)
-            actions, rollout = self._sample()
+            actions = self._sample()
             rewards = yield from self._evaluate(actions)
-            if self.updater is not None:
-                yield from self._learn(rollout, rewards)
+            yield from self.proposer.observe(self, actions, rewards)
             self._advance(actions, rewards)
             if self.converged:
                 break
@@ -87,17 +91,19 @@ class AgentLoop:
         """Seed the lifetime's RNG and take the initial timeout."""
         cfg, resume = self.config, self.resume
         if resume is not None:
-            # restart at the recorded iteration boundary: restored RNG
-            # and policy re-generate the in-flight batch exactly.  For
-            # checkpoint resume sim.now is 0 and this sleeps to the
-            # boundary time; for in-run resurrection the boundary is in
-            # the past and the agent restarts immediately.
+            # restart at the recorded iteration boundary: restored RNG,
+            # policy, and history watermark re-generate the in-flight
+            # batch exactly.  For checkpoint resume sim.now is 0 and
+            # this sleeps to the boundary time; for in-run resurrection
+            # the boundary is in the past and the agent restarts
+            # immediately.
             rng = np.random.default_rng(0)
             rng.bit_generator.state = copy.deepcopy(resume.rng_state)
             self.rng = rng
             self.consecutive_cached = resume.consecutive_cached
             self.iteration = resume.iteration
             self.num_records = resume.num_records
+            self._resume_seen = resume.proposer_seen
             self.digest = (resume.traj_digest
                            or agent_genesis(cfg.seed, self.agent_id))
             self.digests[self.agent_id] = self.digest
@@ -113,12 +119,8 @@ class AgentLoop:
 
     def _sample(self):
         """Draw this iteration's batch of architecture action rows."""
-        if self.policy is None:     # RDM
-            actions = self.rng.integers(0, self.dims,
-                                        size=(self.batch, len(self.dims)))
-            return actions, None
-        rollout = self.policy.sample(self.batch, self.rng)
-        return rollout.actions, rollout
+        seen, self._resume_seen = self._resume_seen, None
+        return self.proposer.propose(self, seen)
 
     def _evaluate(self, actions):
         """Submit the batch, wait for it, and log aligned rewards."""
@@ -147,20 +149,6 @@ class AgentLoop:
                 rec.result.timed_out))
             self.num_records += 1
         return rewards
-
-    def _learn(self, rollout, rewards):
-        """PPO step, hook transforms, and the exchange round."""
-        self.hooks.before_update(self)
-        delta, stats = self.updater.update_delta(rollout, rewards)
-        delta, push_delta = self.hooks.after_update(self, delta, delta,
-                                                    stats)
-        avg = yield from self.exchange.on_gradient(self.agent_id,
-                                                   push_delta,
-                                                   self.iteration)
-        # update_delta already applied the local delta; replace it with
-        # the exchange's average
-        self.policy.add_flat(avg - delta)
-        self.exchange.on_round_end(self.agent_id, self.iteration)
 
     def _advance(self, actions, rewards):
         """Chain the digest, track convergence, close the iteration."""

@@ -1,11 +1,12 @@
 """Multi-agent NAS runner over the simulated cluster (§3.2, Fig. 2/3).
 
 The runner is a thin composition root.  Each agent is an
-:class:`~repro.search.loop.AgentLoop` coroutine wired from the three
-runtime seams (see ``docs/architecture.md``):
+:class:`~repro.search.loop.AgentLoop` coroutine wired from the runtime
+seams (see ``docs/architecture.md``):
 
-* an :class:`~repro.search.exchange.ExchangeStrategy` (a3c / a2c / rdm)
-  over the parameter server;
+* a shared :class:`~repro.search.proposer.Proposer` paired with an
+  :class:`~repro.search.exchange.ExchangeStrategy` by the method
+  registry (:data:`~repro.search.methods.SEARCH_METHODS`);
 * a per-agent :class:`~repro.evaluator.balsam.BalsamEvaluator`
   (an :class:`~repro.evaluator.broker.EvalBroker`) over the shared
   Balsam service;
@@ -58,7 +59,7 @@ from ..rl.policy import LSTMPolicy
 from ..rl.ppo import PPOConfig, PPOUpdater
 from .base import RewardRecord, SearchConfig, SearchResult
 from .checkpoint import AgentBoundary, AgentCheckpoint, SearchCheckpoint
-from .exchange import build_exchange
+from .methods import SEARCH_METHODS, build_exchange, build_proposer
 from .hooks import (BoundaryHook, HealthHook, HookStack, NumericFaultHook,
                     RecordCheckpointHook)
 from .journal import SearchJournal
@@ -99,6 +100,7 @@ class NasSearch:
             retry_backoff=cfg.retry_backoff,
             retry_backoff_cap=cfg.retry_backoff_cap)
         self.exchange = build_exchange(self.sim, cfg, space, sink=self.sink)
+        self.proposer = build_proposer(cfg, space, self.exchange)
         if cfg.plan_cache and reward_model.plan_cache is None:
             # one shared compile cache for every agent; a reward model
             # that already carries one (checkpoint resume, explicit
@@ -199,7 +201,7 @@ class NasSearch:
     def _build_agents(self) -> None:
         """Per-agent evaluator / policy / PPO updater triples."""
         cfg = self.config
-        learns = type(self.exchange).learns
+        learns = SEARCH_METHODS[cfg.method].learns
         self.policies: list[LSTMPolicy | None] = []
         self.updaters: list[PPOUpdater | None] = []
         self.evaluators: list[BalsamEvaluator] = []
@@ -331,7 +333,7 @@ class NasSearch:
             sim=self.sim, space=self.space, config=cfg, agent_id=agent_id,
             evaluator=self.evaluators[agent_id],
             policy=self.policies[agent_id], updater=updater,
-            exchange=self.exchange, hooks=hooks, records=self.records,
+            proposer=self.proposer, hooks=hooks, records=self.records,
             digests=self._digests, resume=self._resume.pop(agent_id, None))
 
     def _agent(self, agent_id: int):
@@ -414,6 +416,9 @@ class NasSearch:
                 budget -= 1
             kept.append(rec)
         self.records = kept
+        # shared-history proposers re-fold their state from the kept
+        # records (the records ARE the history; see proposer.rebuild)
+        self.proposer.rebuild(self.records)
         self._restore_agent_state(agent_id, boundary)
         self.exchange.rejoin(agent_id)
         # real_evals tells a journal replay (repro.search.journal) how
@@ -579,6 +584,10 @@ class NasSearch:
                     continue
                 budget[rec.agent_id] -= 1
             self.records.append(rec)
+        # shared-history proposers re-fold their state from the kept
+        # records; each resuming agent's first proposal then reads up to
+        # its boundary's proposer_seen watermark
+        self.proposer.rebuild(self.records)
         self._converged_agents = ckpt.converged_agents
         self._failed_agents = [tuple(fa) for fa in ckpt.failed_agents]
         self._restarts = dict(ckpt.agent_restarts)

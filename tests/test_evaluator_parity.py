@@ -24,6 +24,9 @@ from repro.hpc.sim import Simulator
 from repro.nas.spaces import combo_small
 from repro.problems.combo import COMBO_PAPER_SHAPES, combo_head
 from repro.rewards import SurrogateReward
+from repro.search import SearchConfig
+from repro.search.ambs import AmbsProposer
+from repro.search.evolution import EvolutionProposer
 from repro.verify.fingerprint import agent_genesis, chain_step
 
 AGENT_ID = 2
@@ -165,6 +168,74 @@ class TestProcessBackendParity:
         assert stats["respawns"] == 0
         assert stats["quarantined"] == 0
         assert stats["inline_evals"] == 0
+
+
+class _StubLoop:
+    """The slice of the agent loop a proposer reads during propose /
+    observe: a seeded rng and the batch size."""
+
+    def __init__(self, rng, batch, agent_id=AGENT_ID):
+        self.rng = rng
+        self.batch = batch
+        self.agent_id = agent_id
+
+
+@pytest.fixture(scope="module")
+def proposer_batches(space):
+    """A batch stream shaped by the real AMBS and evolution proposers
+    instead of uniform draws: constant-liar picks can repeat rows
+    *inside* one batch and mutations cluster around incumbents, so the
+    cache path is exercised very differently from the random stream."""
+    proposers = (
+        AmbsProposer.build(
+            SearchConfig(method="ambs", ambs_warmup=2, ambs_candidates=16,
+                         ambs_ensemble=4), space, None),
+        EvolutionProposer.build(
+            SearchConfig(method="evolution", population_size=6,
+                         tournament_size=2), space, None),
+    )
+    out = []
+    with SerialEvaluator(make_surrogate(space), AGENT_ID) as ev:
+        for proposer in proposers:
+            loop = _StubLoop(np.random.default_rng(9), BATCH)
+            for _ in range(3):
+                actions = proposer.propose(loop)
+                archs = [space.decode(row) for row in actions]
+                ev.add_eval_batch(archs)
+                ev.wait_all()
+                rewards = aligned_rewards(archs, ev.get_finished_evals())
+                list(proposer.observe(loop, actions, rewards))
+                out.append(actions)
+    return out
+
+
+class TestProposerBatchParity:
+    """The backend-parity contract holds for proposer-shaped streams,
+    not just uniform random ones."""
+
+    def test_identical_rewards_and_fingerprints(self, space,
+                                                proposer_batches):
+        serial = drive_inline(
+            SerialEvaluator(make_surrogate(space), AGENT_ID),
+            space, proposer_batches)
+        thread = drive_inline(
+            ThreadEvaluator(make_surrogate(space), AGENT_ID,
+                            max_workers=3),
+            space, proposer_batches)
+        _, balsam = drive_balsam(space, proposer_batches)
+        for name, rewards in (("thread", thread), ("balsam", balsam)):
+            for i, (a, b) in enumerate(zip(serial, rewards)):
+                assert np.array_equal(a, b), f"{name} batch {i} diverged"
+        assert stream_digest(space, proposer_batches, serial) == \
+            stream_digest(space, proposer_batches, thread) == \
+            stream_digest(space, proposer_batches, balsam)
+
+    def test_batches_stay_inside_the_space(self, space, proposer_batches):
+        dims = np.array(space.action_dims)
+        assert len(proposer_batches) == 6
+        for b in proposer_batches:
+            assert b.shape == (BATCH, len(dims))
+            assert np.all((0 <= b) & (b < dims))
 
 
 class TestBackendParity:

@@ -19,7 +19,7 @@ from repro.problems.combo import COMBO_PAPER_SHAPES, combo_head
 from repro.rewards import SurrogateReward
 from repro.search import NasSearch, SearchConfig
 
-METHODS = ("a3c", "a2c", "rdm")
+METHODS = ("a3c", "a2c", "rdm", "ambs", "evolution")
 
 
 @pytest.fixture(scope="module")

@@ -88,7 +88,10 @@ class TestRuns:
                               allocation=NodeAllocation(32, 4, 3), seed=2)
         res = run_evolution(space, make_reward(space), cfg)
         recs = sorted(res.records, key=lambda r: r.time)
-        q = len(recs) // 4
-        first = float(np.mean([r.reward for r in recs[:q]]))
-        last = float(np.mean([r.reward for r in recs[-q:]]))
+        # baseline on the random warm-up era (proposals made while the
+        # population was still filling), so the comparison holds however
+        # quickly tournament selection converges afterwards
+        warm = 2 * cfg.population_size
+        first = float(np.mean([r.reward for r in recs[:warm]]))
+        last = float(np.mean([r.reward for r in recs[-(len(recs) // 4):]]))
         assert last > first + 0.05
